@@ -1,0 +1,121 @@
+// Command piersearch runs a standalone PIERSearch node over real TCP: it
+// serves a Kademlia DHT node, joins an existing network, publishes shared
+// files and answers keyword queries — the building block of the paper's
+// hybrid ultrapeer, runnable by hand.
+//
+// Start a first node:
+//
+//	piersearch -listen 127.0.0.1:4000 -daemon
+//
+// Join it, publish and search:
+//
+//	piersearch -listen 127.0.0.1:4001 -join 127.0.0.1:4000 \
+//	    -publish "Madonna - Like a Prayer.mp3" -publish "Rare Demo Tape.mp3"
+//	piersearch -listen 127.0.0.1:4002 -join 127.0.0.1:4000 -search "rare demo"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/pier"
+	"piersearch/internal/piersearch"
+	"piersearch/internal/wire"
+)
+
+type publishList []string
+
+func (p *publishList) String() string     { return strings.Join(*p, ",") }
+func (p *publishList) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	join := flag.String("join", "", "address of an existing node to bootstrap from")
+	search := flag.String("search", "", "run one keyword query and exit")
+	strategy := flag.String("strategy", "cache", "query strategy: cache or join")
+	daemon := flag.Bool("daemon", false, "keep serving after startup (Ctrl-C to stop)")
+	stdinPublish := flag.Bool("stdin", false, "publish one filename per stdin line")
+	var publishes publishList
+	flag.Var(&publishes, "publish", "filename to publish (repeatable)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	ln, err := wire.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	transport := wire.NewTCPTransport()
+	defer transport.Close()
+	node := dht.NewNode(dht.NodeInfo{ID: dht.RandomID(), Addr: ln.Addr().String()}, transport, dht.Config{})
+	srv := wire.NewServer(node, ln)
+	go srv.Serve() //nolint:errcheck // closed below
+	defer srv.Close()
+	log.Printf("node %s listening on %s", node.Info().ID.Short(), srv.Addr())
+
+	engine := pier.NewEngine(node, pier.Config{OrderBySelectivity: true})
+	piersearch.RegisterSchemas(engine)
+
+	if *join != "" {
+		// The seed's ID is learned from its ping response; bootstrap only
+		// needs its address.
+		seed := dht.NodeInfo{Addr: *join}
+		resp, err := transport.Call(seed, &dht.Request{Kind: dht.RPCPing, From: node.Info()})
+		if err != nil {
+			log.Fatalf("join %s: %v", *join, err)
+		}
+		if err := node.Bootstrap(resp.From); err != nil {
+			log.Fatalf("bootstrap: %v", err)
+		}
+		log.Printf("joined network via %s (%d contacts)", *join, node.TableLen())
+	}
+
+	pub := piersearch.NewPublisher(engine, piersearch.ModeBoth, piersearch.Tokenizer{})
+	publishOne := func(name string) {
+		f := piersearch.File{Name: name, Size: int64(len(name)) * 1000, Host: srv.Addr(), Port: 6346}
+		stats, err := pub.Publish(f)
+		if err != nil {
+			log.Printf("publish %q: %v", name, err)
+			return
+		}
+		log.Printf("published %q: %d tuples, %d bytes", name, stats.Tuples, stats.Bytes)
+	}
+	for _, name := range publishes {
+		publishOne(name)
+	}
+	if *stdinPublish {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			if line := strings.TrimSpace(sc.Text()); line != "" {
+				publishOne(line)
+			}
+		}
+	}
+
+	if *search != "" {
+		strat := piersearch.StrategyCache
+		if *strategy == "join" {
+			strat = piersearch.StrategyJoin
+		}
+		results, stats, err := piersearch.NewSearch(engine, piersearch.Tokenizer{}).Query(*search, strat, 50)
+		if err != nil {
+			log.Fatalf("search: %v", err)
+		}
+		fmt.Printf("%d results for %q (%v, %d msgs, %d bytes):\n", len(results), *search, strat, stats.Messages, stats.Bytes)
+		for _, r := range results {
+			fmt.Printf("  %-50s %10d bytes  %s:%d\n", r.File.Name, r.File.Size, r.File.Host, r.File.Port)
+		}
+	}
+
+	if *daemon {
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		log.Println("shutting down")
+	}
+}

@@ -1,0 +1,65 @@
+// Quickstart: build an in-process PIERSearch network, publish a few files
+// and run keyword queries with both query plans.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/pier"
+	"piersearch/internal/piersearch"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. A DHT of 32 nodes, bootstrapped and ready. Kademlia parameters are
+	// sized for a small cluster (bucket width 8, 2 replicas).
+	cluster, err := dht.NewCluster(32, 1, dht.Config{K: 8, Alpha: 2, Replicate: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. A PIER query-processor engine on every node, with the PIERSearch
+	// catalog (Item / Inverted / InvertedCache) registered.
+	engines := make([]*pier.Engine, len(cluster.Nodes))
+	for i, node := range cluster.Nodes {
+		engines[i] = pier.NewEngine(node, pier.Config{OrderBySelectivity: true})
+		piersearch.RegisterSchemas(engines[i])
+	}
+
+	// 3. Hosts publish their shared files from different nodes.
+	files := []piersearch.File{
+		{Name: "Madonna - Like a Prayer.mp3", Size: 4_100_000, Host: "10.0.0.1", Port: 6346},
+		{Name: "Madonna - Like a Prayer.mp3", Size: 4_100_000, Host: "10.0.0.2", Port: 6346},
+		{Name: "Madonna - Music.mp3", Size: 3_900_000, Host: "10.0.0.3", Port: 6346},
+		{Name: "Basement Tapes - Unreleased Demo.mp3", Size: 2_000_000, Host: "10.0.0.4", Port: 6346},
+	}
+	for i, f := range files {
+		pub := piersearch.NewPublisher(engines[i%len(engines)], piersearch.ModeBoth, piersearch.Tokenizer{})
+		stats, err := pub.Publish(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("published %-42q  %d tuples, %4.1f KB\n", f.Name, stats.Tuples, float64(stats.Bytes)/1024)
+	}
+
+	// 4. Query from yet another node, with both §3.2 plans.
+	search := piersearch.NewSearch(engines[20], piersearch.Tokenizer{})
+	for _, q := range []string{"madonna prayer", "basement demo", "madonna"} {
+		for _, strat := range []piersearch.Strategy{piersearch.StrategyJoin, piersearch.StrategyCache} {
+			results, stats, err := search.Query(q, strat, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n%q via %v: %d results (%d msgs, %.1f KB)\n",
+				q, strat, len(results), stats.Messages, float64(stats.Bytes)/1024)
+			for _, r := range results {
+				fmt.Printf("  %-42s %s:%d\n", r.File.Name, r.File.Host, r.File.Port)
+			}
+		}
+	}
+}

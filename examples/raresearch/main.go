@@ -1,0 +1,110 @@
+// Raresearch: the paper's motivating scenario. A Gnutella overlay shares a
+// long-tailed library; flooding answers popular queries quickly but misses
+// or delays rare items, while a DHT partial index over the rare items
+// answers them reliably. Compare the two side by side.
+//
+//	go run ./examples/raresearch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/gnutella"
+	"piersearch/internal/hybrid"
+	"piersearch/internal/pier"
+	"piersearch/internal/piersearch"
+	"piersearch/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 3,000-host overlay sharing a calibrated long-tailed library.
+	tr := trace.Generate(trace.Config{
+		DistinctFiles: 4000, TargetCopies: 13000, Hosts: 3000,
+		Vocabulary: 3000, Queries: 50, Seed: 7,
+	})
+	topo, err := gnutella.NewTopology(gnutella.TopologyConfig{Ultrapeers: 100, Hosts: 3000, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib := gnutella.NewLibrary(topo, piersearch.Tokenizer{})
+	for rank, hosts := range tr.Placement(3000) {
+		for _, h := range hosts {
+			lib.AddFile(int(h), gnutella.SharedFile{Name: tr.Files[rank].Name, Size: 3_000_000})
+		}
+	}
+	gnet := gnutella.NewNetwork(topo, lib, gnutella.NetworkConfig{DynamicQuery: true, MaxTTL: 2, Seed: 7})
+
+	// Ten hybrid ultrapeers share a DHT and proactively publish the rare
+	// files of their own subtrees (TF scheme over global term stats).
+	cluster, err := dht.NewCluster(10, 7, dht.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	termFreq := tr.TermInstanceFrequency()
+	tk := piersearch.Tokenizer{}
+	var hybrids []*hybrid.Ultrapeer
+	for i := 0; i < 10; i++ {
+		engine := pier.NewEngine(cluster.Nodes[i], pier.Config{OrderBySelectivity: true})
+		piersearch.RegisterSchemas(engine)
+		h := hybrid.NewUltrapeer(gnutella.HostID(i), gnet, lib, engine, hybrid.UltrapeerConfig{Seed: 7})
+		for _, host := range topo.HostsOf(h.Host) {
+			for _, sf := range lib.Files(host) {
+				for _, term := range tk.Tokenize(sf.Name) {
+					if termFreq[term] <= 30 {
+						if err := h.PublishLocal(host); err != nil {
+							log.Fatal(err)
+						}
+						break
+					}
+				}
+			}
+		}
+		hybrids = append(hybrids, h)
+	}
+	published := 0
+	for _, h := range hybrids {
+		published += h.PublishCount
+	}
+	fmt.Printf("hybrid fleet published %d rare files into the DHT\n\n", published)
+
+	// A popular query and a rare one, through the hybrid path.
+	popular := tr.Queries[0]
+	for _, q := range tr.Queries {
+		if tr.Files[q.TargetRank].Replicas > tr.Files[popular.TargetRank].Replicas {
+			popular = q
+		}
+	}
+	report := func(label string, q trace.Query, out hybrid.Outcome) {
+		target := tr.Files[q.TargetRank]
+		fmt.Printf("%-8s query %-30q (target has %d replicas)\n", label, q.Text, target.Replicas)
+		fmt.Printf("         answered by %-8s  %d results, first result after %v\n\n",
+			out.Source, out.Results, out.FirstLatency)
+	}
+
+	out, err := hybrids[0].Query(popular.Text, popular.Terms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("popular", popular, out)
+
+	// Walk the rare-target queries until one escapes the flooding horizon
+	// and is rescued by the DHT index.
+	for _, q := range tr.Queries {
+		if tr.Files[q.TargetRank].Replicas > 2 {
+			continue
+		}
+		out, err := hybrids[0].Query(q.Text, q.Terms)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report("rare", q, out)
+		if out.Source == hybrid.SourcePIER {
+			fmt.Println("flooding missed this item; the PIERSearch partial index answered it.")
+			break
+		}
+	}
+}

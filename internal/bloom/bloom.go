@@ -1,0 +1,198 @@
+// Package bloom implements Bloom filters. Gnutella leaf nodes publish Bloom
+// filters of their file keywords to ultrapeers (the Query Routing Protocol
+// the paper describes in §4.1), and §6.3 suggests compressed Bloom filters
+// for storing term-frequency sets. Filters use double hashing over two
+// 64-bit FNV-1a halves, the standard Kirsch–Mitzenmacher construction.
+package bloom
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a fixed-size Bloom filter. The zero value is not usable; create
+// filters with New or NewWithEstimates.
+type Filter struct {
+	bits  []uint64
+	m     uint64 // number of bits
+	k     uint32 // number of hash functions
+	count uint64 // number of Add calls (approximate element count)
+}
+
+// New creates a filter with m bits and k hash functions. m is rounded up to
+// a multiple of 64. It panics if m or k is zero.
+func New(m uint64, k uint32) *Filter {
+	if m == 0 || k == 0 {
+		panic("bloom: m and k must be positive")
+	}
+	words := (m + 63) / 64
+	return &Filter{bits: make([]uint64, words), m: words * 64, k: k}
+}
+
+// NewWithEstimates creates a filter sized for n elements at false-positive
+// probability p, using the optimal m = -n ln p / (ln 2)^2 and k = m/n ln 2.
+func NewWithEstimates(n uint64, p float64) *Filter {
+	if n == 0 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	k := uint32(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k == 0 {
+		k = 1
+	}
+	return New(m, k)
+}
+
+// hashes returns the two base hashes for data.
+func hashes(data []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(data)
+	h1 := h.Sum64()
+	// Second, independent-ish hash: FNV over the first hash's bytes.
+	h.Reset()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(h1 >> (8 * i))
+	}
+	h.Write(buf[:])
+	return h1, h.Sum64()
+}
+
+// Add inserts data into the filter.
+func (f *Filter) Add(data []byte) {
+	h1, h2 := hashes(data)
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+	f.count++
+}
+
+// AddString inserts s into the filter.
+func (f *Filter) AddString(s string) { f.Add([]byte(s)) }
+
+// Test reports whether data may be in the filter. False positives are
+// possible; false negatives are not.
+func (f *Filter) Test(data []byte) bool {
+	h1, h2 := hashes(data)
+	for i := uint32(0); i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestString reports whether s may be in the filter.
+func (f *Filter) TestString(s string) bool { return f.Test([]byte(s)) }
+
+// Count returns the number of Add calls made.
+func (f *Filter) Count() uint64 { return f.count }
+
+// Bits returns the filter size in bits.
+func (f *Filter) Bits() uint64 { return f.m }
+
+// K returns the number of hash functions.
+func (f *Filter) K() uint32 { return f.k }
+
+// FillRatio returns the fraction of set bits.
+func (f *Filter) FillRatio() float64 {
+	var ones uint64
+	for _, w := range f.bits {
+		ones += uint64(popcount(w))
+	}
+	return float64(ones) / float64(f.m)
+}
+
+// EstimatedFalsePositiveRate returns the expected false-positive probability
+// given the current fill ratio: fill^k.
+func (f *Filter) EstimatedFalsePositiveRate() float64 {
+	return math.Pow(f.FillRatio(), float64(f.k))
+}
+
+// Union ORs other into f. Both filters must have identical geometry.
+func (f *Filter) Union(other *Filter) error {
+	if f.m != other.m || f.k != other.k {
+		return fmt.Errorf("bloom: incompatible union: %d/%d bits, %d/%d hashes", f.m, other.m, f.k, other.k)
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	f.count += other.count
+	return nil
+}
+
+// Clear resets the filter to empty.
+func (f *Filter) Clear() {
+	for i := range f.bits {
+		f.bits[i] = 0
+	}
+	f.count = 0
+}
+
+// SizeBytes returns the in-memory size of the bit array, the quantity a
+// Gnutella leaf ships to its ultrapeer when publishing its keyword filter.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// MarshalBinary encodes the filter geometry and bit array.
+func (f *Filter) MarshalBinary() ([]byte, error) {
+	out := make([]byte, 0, 20+len(f.bits)*8)
+	out = appendUint64(out, f.m)
+	out = appendUint64(out, uint64(f.k))
+	out = appendUint64(out, f.count)
+	for _, w := range f.bits {
+		out = appendUint64(out, w)
+	}
+	return out, nil
+}
+
+// UnmarshalBinary decodes a filter produced by MarshalBinary.
+func (f *Filter) UnmarshalBinary(data []byte) error {
+	if len(data) < 24 {
+		return errors.New("bloom: short buffer")
+	}
+	m := readUint64(data[0:])
+	k := readUint64(data[8:])
+	count := readUint64(data[16:])
+	words := int((m + 63) / 64)
+	if len(data) != 24+words*8 {
+		return fmt.Errorf("bloom: buffer length %d does not match %d bits", len(data), m)
+	}
+	f.m = m
+	f.k = uint32(k)
+	f.count = count
+	f.bits = make([]uint64, words)
+	for i := range f.bits {
+		f.bits[i] = readUint64(data[24+8*i:])
+	}
+	return nil
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	for i := 0; i < 8; i++ {
+		b = append(b, byte(v>>(8*i)))
+	}
+	return b
+}
+
+func readUint64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}
+
+func popcount(x uint64) int {
+	// Hacker's Delight bit-count; avoids importing math/bits for one call.
+	x -= (x >> 1) & 0x5555555555555555
+	x = (x & 0x3333333333333333) + ((x >> 2) & 0x3333333333333333)
+	x = (x + (x >> 4)) & 0x0f0f0f0f0f0f0f0f
+	return int((x * 0x0101010101010101) >> 56)
+}

@@ -1,0 +1,200 @@
+package bloom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := NewWithEstimates(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.TestString(fmt.Sprintf("key-%d", i)) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	const n, p = 10000, 0.01
+	f := NewWithEstimates(n, p)
+	for i := 0; i < n; i++ {
+		f.AddString(fmt.Sprintf("member-%d", i))
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if f.TestString(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 3*p {
+		t.Errorf("false positive rate %.4f, want <= %.4f", rate, 3*p)
+	}
+	est := f.EstimatedFalsePositiveRate()
+	if est > 3*p {
+		t.Errorf("estimated fp rate %.4f, want <= %.4f", est, 3*p)
+	}
+}
+
+func TestEmptyFilterRejectsEverything(t *testing.T) {
+	f := New(1024, 4)
+	for i := 0; i < 100; i++ {
+		if f.TestString(fmt.Sprintf("x-%d", i)) {
+			t.Fatalf("empty filter claimed membership of x-%d", i)
+		}
+	}
+	if f.FillRatio() != 0 {
+		t.Errorf("FillRatio = %v, want 0", f.FillRatio())
+	}
+}
+
+func TestPropertyAddedAlwaysFound(t *testing.T) {
+	f := New(1<<14, 5)
+	prop := func(data []byte) bool {
+		f.Add(data)
+		return f.Test(data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := New(1024, 3)
+	b := New(1024, 3)
+	a.AddString("alpha")
+	b.AddString("beta")
+	if err := a.Union(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.TestString("alpha") || !a.TestString("beta") {
+		t.Error("union lost elements")
+	}
+	if a.Count() != 2 {
+		t.Errorf("Count = %d, want 2", a.Count())
+	}
+}
+
+func TestUnionIncompatible(t *testing.T) {
+	a := New(1024, 3)
+	b := New(2048, 3)
+	if err := a.Union(b); err == nil {
+		t.Error("union of different sizes succeeded")
+	}
+	c := New(1024, 4)
+	if err := a.Union(c); err == nil {
+		t.Error("union of different k succeeded")
+	}
+}
+
+func TestClear(t *testing.T) {
+	f := New(1024, 3)
+	f.AddString("x")
+	f.Clear()
+	if f.TestString("x") {
+		t.Error("cleared filter still contains x")
+	}
+	if f.Count() != 0 || f.FillRatio() != 0 {
+		t.Errorf("Count=%d FillRatio=%v after Clear", f.Count(), f.FillRatio())
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	f := NewWithEstimates(500, 0.02)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]string, 500)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k-%d-%d", i, rng.Int63())
+		f.AddString(keys[i])
+	}
+	data, err := f.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Filter
+	if err := g.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if g.Bits() != f.Bits() || g.K() != f.K() || g.Count() != f.Count() {
+		t.Errorf("geometry mismatch after round trip")
+	}
+	for _, k := range keys {
+		if !g.TestString(k) {
+			t.Fatalf("round-tripped filter lost %q", k)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var f Filter
+	if err := f.UnmarshalBinary([]byte{1, 2, 3}); err == nil {
+		t.Error("short buffer accepted")
+	}
+	g := New(128, 2)
+	data, _ := g.MarshalBinary()
+	if err := f.UnmarshalBinary(data[:len(data)-1]); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+}
+
+func TestNewPanicsOnZero(t *testing.T) {
+	for _, tc := range []struct{ m, k uint64 }{{0, 1}, {1, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) did not panic", tc.m, tc.k)
+				}
+			}()
+			New(tc.m, uint32(tc.k))
+		}()
+	}
+}
+
+func TestNewWithEstimatesDefaults(t *testing.T) {
+	// Degenerate inputs must still produce a usable filter.
+	for _, f := range []*Filter{
+		NewWithEstimates(0, 0.01),
+		NewWithEstimates(10, 0),
+		NewWithEstimates(10, 1.5),
+	} {
+		f.AddString("x")
+		if !f.TestString("x") {
+			t.Error("degenerate-parameter filter unusable")
+		}
+	}
+}
+
+func TestSizeBytesMatchesBits(t *testing.T) {
+	f := New(1000, 3) // rounds to 1024 bits = 128 bytes
+	if f.Bits() != 1024 {
+		t.Errorf("Bits = %d, want 1024", f.Bits())
+	}
+	if f.SizeBytes() != 128 {
+		t.Errorf("SizeBytes = %d, want 128", f.SizeBytes())
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f := NewWithEstimates(uint64(b.N)+1, 0.01)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+}
+
+func BenchmarkTest(b *testing.B) {
+	f := NewWithEstimates(100000, 0.01)
+	for i := 0; i < 100000; i++ {
+		f.AddString(fmt.Sprintf("key-%d", i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.TestString(fmt.Sprintf("key-%d", i%200000))
+	}
+}

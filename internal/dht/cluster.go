@@ -1,0 +1,71 @@
+package dht
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Cluster is a fully bootstrapped in-process DHT: the substrate PIER and
+// the hybrid deployment experiments run on.
+type Cluster struct {
+	Net   *LocalNetwork
+	Nodes []*Node
+	rng   *rand.Rand
+	next  int // address counter for nodes added after construction
+}
+
+// NewCluster builds and bootstraps a DHT of n nodes with deterministic IDs
+// derived from seed. Every node joins via node 0.
+func NewCluster(n int, seed int64, cfg Config) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dht: cluster size %d must be positive", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	c := &Cluster{Net: NewLocalNetwork(seed + 1), rng: rng, next: n}
+	for i := 0; i < n; i++ {
+		info := NodeInfo{ID: SeededID(rng), Addr: fmt.Sprintf("node-%d", i)}
+		node := NewNode(info, c.Net, cfg)
+		c.Net.Join(node)
+		c.Nodes = append(c.Nodes, node)
+	}
+	seedInfo := c.Nodes[0].Info()
+	for i, node := range c.Nodes {
+		if i == 0 {
+			continue
+		}
+		if err := node.Bootstrap(seedInfo); err != nil {
+			return nil, fmt.Errorf("dht: bootstrap node %d: %w", i, err)
+		}
+	}
+	return c, nil
+}
+
+// AddNode creates, registers and bootstraps one more node (churn: join).
+func (c *Cluster) AddNode(cfg Config) (*Node, error) {
+	info := NodeInfo{ID: SeededID(c.rng), Addr: fmt.Sprintf("node-%d", c.next)}
+	c.next++
+	node := NewNode(info, c.Net, cfg)
+	c.Net.Join(node)
+	if len(c.Nodes) > 0 {
+		if err := node.Bootstrap(c.Nodes[0].Info()); err != nil {
+			return nil, err
+		}
+	}
+	c.Nodes = append(c.Nodes, node)
+	return node, nil
+}
+
+// RemoveNode abruptly detaches the i-th node (churn: ungraceful leave).
+// The node's stored values are lost unless replicated elsewhere.
+func (c *Cluster) RemoveNode(i int) {
+	if i < 0 || i >= len(c.Nodes) {
+		return
+	}
+	c.Net.Remove(c.Nodes[i].Info().Addr)
+	c.Nodes = append(c.Nodes[:i], c.Nodes[i+1:]...)
+}
+
+// RandomNode returns a uniformly random live node.
+func (c *Cluster) RandomNode() *Node {
+	return c.Nodes[c.rng.Intn(len(c.Nodes))]
+}

@@ -1,0 +1,529 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Config holds node parameters. The zero value is usable: Normalize fills
+// in Kademlia's customary defaults.
+type Config struct {
+	K         int           // bucket size and lookup result width (default 20)
+	Alpha     int           // lookup batch parallelism (default 3)
+	Replicate int           // number of nodes a value is stored on (default 3)
+	TTL       time.Duration // default value lifetime; 0 means no expiry
+	Clock     func() time.Duration
+}
+
+// Normalize fills unset fields with defaults and returns the config.
+func (c Config) Normalize() Config {
+	if c.K <= 0 {
+		c.K = 20
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 3
+	}
+	if c.Replicate <= 0 {
+		c.Replicate = 3
+	}
+	if c.Clock == nil {
+		start := time.Now()
+		c.Clock = func() time.Duration { return time.Since(start) }
+	}
+	return c
+}
+
+// AppHandler processes an application message routed to this node and
+// returns an optional reply payload.
+type AppHandler func(from NodeInfo, data []byte) []byte
+
+// LookupStats describes the traffic cost of one DHT operation.
+// Hops counts sequential request rounds, the quantity that multiplies RTT
+// when converting to latency (O(log N) in Kademlia).
+type LookupStats struct {
+	Messages int
+	Bytes    int
+	Hops     int
+	Failed   int // contacts that did not respond
+}
+
+// add merges other into s.
+func (s *LookupStats) add(o LookupStats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.Hops += o.Hops
+	s.Failed += o.Failed
+}
+
+// ErrNoContacts is returned when a node has an empty routing table and
+// cannot perform lookups.
+var ErrNoContacts = errors.New("dht: routing table empty")
+
+// Node is one DHT participant. All exported methods are safe for concurrent
+// use; outbound RPCs are issued without holding the node lock.
+type Node struct {
+	info      Config
+	self      NodeInfo
+	transport Transport
+
+	mu       sync.Mutex
+	table    *Table
+	store    *Store
+	handlers map[string]AppHandler
+}
+
+// NewNode creates a node with the given identity, transport and config.
+func NewNode(self NodeInfo, transport Transport, cfg Config) *Node {
+	cfg = cfg.Normalize()
+	return &Node{
+		info:      cfg,
+		self:      self,
+		transport: transport,
+		table:     NewTable(self.ID, cfg.K),
+		store:     NewStore(),
+		handlers:  make(map[string]AppHandler),
+	}
+}
+
+// Info returns the node's identity.
+func (n *Node) Info() NodeInfo { return n.self }
+
+// Config returns the node's configuration.
+func (n *Node) Config() Config { return n.info }
+
+// TableLen returns the number of routing-table contacts.
+func (n *Node) TableLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.table.Len()
+}
+
+// StoreStats returns (keys, values, payload bytes) held locally.
+func (n *Node) StoreStats() (keys, values, bytes int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Len(), n.store.ValueCount(), n.store.Bytes()
+}
+
+// RegisterApp installs h as the handler for application messages with the
+// given dispatch kind.
+func (n *Node) RegisterApp(kind string, h AppHandler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[kind] = h
+}
+
+// observe records contact with peer in the routing table.
+func (n *Node) observe(peer NodeInfo) {
+	if peer.ID == n.self.ID || peer.ID.IsZero() {
+		return
+	}
+	n.mu.Lock()
+	candidate, _ := n.table.Update(peer)
+	n.mu.Unlock()
+	if candidate == nil {
+		return
+	}
+	// Bucket full: ping the least-recently-seen contact and evict it if
+	// dead, per Kademlia. New contact is dropped if the old one is alive.
+	if _, err := n.call(*candidate, &Request{Kind: RPCPing, From: n.self}); err != nil {
+		n.mu.Lock()
+		n.table.Evict(candidate.ID)
+		n.table.Update(peer)
+		n.mu.Unlock()
+	}
+}
+
+// call issues one RPC and accounts for routing-table maintenance.
+func (n *Node) call(to NodeInfo, req *Request) (*Response, error) {
+	req.From = n.self
+	resp, err := n.transport.Call(to, req)
+	if err != nil {
+		n.mu.Lock()
+		n.table.Evict(to.ID)
+		n.mu.Unlock()
+		return nil, err
+	}
+	return resp, nil
+}
+
+// HandleRPC is the server side of the protocol: transports deliver inbound
+// requests here.
+func (n *Node) HandleRPC(req *Request) *Response {
+	n.observe(req.From)
+	switch req.Kind {
+	case RPCPing:
+		return &Response{From: n.self, OK: true}
+
+	case RPCFindNode:
+		n.mu.Lock()
+		closest := n.table.Closest(req.Target, n.info.K)
+		n.mu.Unlock()
+		return &Response{From: n.self, Closest: closest, OK: true}
+
+	case RPCFindValue:
+		n.mu.Lock()
+		values := n.store.Get(req.Target, n.info.Clock())
+		closest := n.table.Closest(req.Target, n.info.K)
+		n.mu.Unlock()
+		return &Response{From: n.self, Values: values, Closest: closest, OK: true}
+
+	case RPCStore:
+		n.mu.Lock()
+		n.store.Put(req.Target, req.Value)
+		n.mu.Unlock()
+		return &Response{From: n.self, OK: true}
+
+	case RPCApp:
+		n.mu.Lock()
+		h := n.handlers[req.App]
+		n.mu.Unlock()
+		if h == nil {
+			return &Response{From: n.self, OK: false}
+		}
+		reply := h(req.From, req.Data)
+		return &Response{From: n.self, Data: reply, OK: true}
+
+	default:
+		return &Response{From: n.self, OK: false}
+	}
+}
+
+// Bootstrap joins the network through seed: it inserts seed into the table
+// and performs a lookup of the node's own ID to populate nearby buckets.
+func (n *Node) Bootstrap(seed NodeInfo) error {
+	if seed.ID == n.self.ID {
+		return nil // first node in the network
+	}
+	resp, err := n.call(seed, &Request{Kind: RPCPing})
+	if err != nil {
+		return fmt.Errorf("dht: bootstrap ping: %w", err)
+	}
+	n.observe(resp.From)
+	_, _, err = n.Lookup(n.self.ID)
+	return err
+}
+
+// Lookup performs an iterative FindNode for target, returning up to K
+// closest live contacts, nearest first.
+func (n *Node) Lookup(target ID) ([]NodeInfo, LookupStats, error) {
+	infos, _, stats, err := n.iterate(target, false)
+	return infos, stats, err
+}
+
+// iterate is the shared iterative-lookup core. With findValue set it issues
+// FindValue RPCs and returns early once values are found, merging value
+// sets from the closest replica holders it has already contacted.
+func (n *Node) iterate(target ID, findValue bool) ([]NodeInfo, []StoredValue, LookupStats, error) {
+	var stats LookupStats
+
+	n.mu.Lock()
+	shortlist := n.table.Closest(target, n.info.K)
+	n.mu.Unlock()
+	if len(shortlist) == 0 {
+		return nil, nil, stats, ErrNoContacts
+	}
+
+	queried := map[ID]bool{n.self.ID: true}
+	failed := map[ID]bool{}
+	var values []StoredValue
+	valueSeen := map[string]bool{}
+	holders := 0
+
+	kind := RPCFindNode
+	if findValue {
+		kind = RPCFindValue
+	}
+
+	for {
+		// Select the alpha closest not-yet-queried contacts.
+		batch := make([]NodeInfo, 0, n.info.Alpha)
+		for _, c := range shortlist {
+			if len(batch) == n.info.Alpha {
+				break
+			}
+			if !queried[c.ID] && !failed[c.ID] {
+				batch = append(batch, c)
+			}
+		}
+		if len(batch) == 0 {
+			break
+		}
+		stats.Hops++
+
+		improved := false
+		for _, c := range batch {
+			queried[c.ID] = true
+			req := &Request{Kind: kind, Target: target}
+			resp, err := n.call(c, req)
+			stats.Messages++
+			stats.Bytes += req.WireSize()
+			if err != nil {
+				failed[c.ID] = true
+				stats.Failed++
+				continue
+			}
+			stats.Messages++
+			stats.Bytes += resp.WireSize()
+			n.observe(resp.From)
+
+			if findValue && len(resp.Values) > 0 {
+				holders++
+				for _, v := range resp.Values {
+					k := v.Publisher.String() + string(v.Data)
+					if !valueSeen[k] {
+						valueSeen[k] = true
+						values = append(values, v)
+					}
+				}
+			}
+			for _, nc := range resp.Closest {
+				if nc.ID == n.self.ID {
+					continue
+				}
+				dup := false
+				for _, existing := range shortlist {
+					if existing.ID == nc.ID {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					shortlist = append(shortlist, nc)
+					improved = true
+				}
+			}
+		}
+		shortlist = sortByDistance(shortlist, target)
+		if len(shortlist) > n.info.K {
+			shortlist = shortlist[:n.info.K]
+		}
+		// Stop early once we have merged values from enough replicas.
+		if findValue && holders >= n.info.Replicate {
+			break
+		}
+		if !improved && allQueried(shortlist, queried, failed) {
+			break
+		}
+	}
+
+	live := shortlist[:0]
+	for _, c := range shortlist {
+		if !failed[c.ID] {
+			live = append(live, c)
+		}
+	}
+	return live, values, stats, nil
+}
+
+func allQueried(list []NodeInfo, queried, failed map[ID]bool) bool {
+	for _, c := range list {
+		if !queried[c.ID] && !failed[c.ID] {
+			return false
+		}
+	}
+	return true
+}
+
+// Put publishes data under the (namespace, key) pair, storing it on the
+// Replicate closest nodes to the key. It returns the traffic cost.
+func (n *Node) Put(namespace, key string, data []byte) (LookupStats, error) {
+	return n.PutID(NamespacedID(namespace, key), data)
+}
+
+// PutID publishes data under an explicit key identifier.
+func (n *Node) PutID(key ID, data []byte) (LookupStats, error) {
+	closest, stats, err := n.Lookup(key)
+	if err != nil {
+		return stats, err
+	}
+	value := StoredValue{
+		Data:      data,
+		Publisher: n.self.ID,
+		StoredAt:  n.info.Clock(),
+		TTL:       n.info.TTL,
+	}
+	stored := 0
+	for _, c := range closest {
+		if stored == n.info.Replicate {
+			break
+		}
+		if c.ID == n.self.ID {
+			continue
+		}
+		req := &Request{Kind: RPCStore, Target: key, Value: value}
+		resp, err := n.call(c, req)
+		stats.Messages++
+		stats.Bytes += req.WireSize()
+		if err != nil {
+			stats.Failed++
+			continue
+		}
+		stats.Messages++
+		stats.Bytes += resp.WireSize()
+		stored++
+	}
+	// If we are among the closest, hold a replica locally too.
+	if n.selfAmongClosest(key, closest) || stored == 0 {
+		n.mu.Lock()
+		n.store.Put(key, value)
+		n.mu.Unlock()
+	}
+	if stored == 0 && len(closest) > 0 && closest[0].ID != n.self.ID {
+		return stats, fmt.Errorf("dht: put %s: no replica stored", key.Short())
+	}
+	return stats, nil
+}
+
+func (n *Node) selfAmongClosest(key ID, closest []NodeInfo) bool {
+	count := 0
+	for _, c := range closest {
+		if count == n.info.Replicate {
+			return false
+		}
+		if Closer(n.self.ID, c.ID, key) {
+			return true
+		}
+		count++
+	}
+	return count < n.info.Replicate
+}
+
+// Get retrieves all values stored under the (namespace, key) pair.
+func (n *Node) Get(namespace, key string) ([]StoredValue, LookupStats, error) {
+	return n.GetID(NamespacedID(namespace, key))
+}
+
+// GetID retrieves all values under an explicit key identifier, merging the
+// value sets found on the replica holders.
+func (n *Node) GetID(key ID) ([]StoredValue, LookupStats, error) {
+	// Check the local store first: we may be a replica holder.
+	n.mu.Lock()
+	local := n.store.Get(key, n.info.Clock())
+	n.mu.Unlock()
+
+	_, values, stats, err := n.iterate(key, true)
+	if err != nil && len(local) == 0 {
+		return nil, stats, err
+	}
+	seen := map[string]bool{}
+	for _, v := range values {
+		seen[v.Publisher.String()+string(v.Data)] = true
+	}
+	for _, v := range local {
+		if !seen[v.Publisher.String()+string(v.Data)] {
+			values = append(values, v)
+		}
+	}
+	return values, stats, nil
+}
+
+// Owner returns the live node currently responsible for key (the closest).
+func (n *Node) Owner(key ID) (NodeInfo, LookupStats, error) {
+	closest, stats, err := n.Lookup(key)
+	if err != nil {
+		return NodeInfo{}, stats, err
+	}
+	if len(closest) == 0 {
+		return NodeInfo{}, stats, ErrNoContacts
+	}
+	best := closest[0]
+	if Closer(n.self.ID, best.ID, key) {
+		best = n.self
+	}
+	return best, stats, nil
+}
+
+// Send routes an application message to the node responsible for key and
+// returns its reply. This is the primitive PIER uses to ship query plans
+// and rehashed tuples between keyword owners.
+func (n *Node) Send(key ID, app string, data []byte) ([]byte, LookupStats, error) {
+	owner, stats, err := n.Owner(key)
+	if err != nil {
+		return nil, stats, err
+	}
+	if owner.ID == n.self.ID {
+		n.mu.Lock()
+		h := n.handlers[app]
+		n.mu.Unlock()
+		if h == nil {
+			return nil, stats, fmt.Errorf("dht: no app handler %q", app)
+		}
+		return h(n.self, data), stats, nil
+	}
+	reply, s2, err := n.SendTo(owner, app, data)
+	stats.add(s2)
+	return reply, stats, err
+}
+
+// SendTo delivers an application message directly to a known node.
+func (n *Node) SendTo(to NodeInfo, app string, data []byte) ([]byte, LookupStats, error) {
+	var stats LookupStats
+	req := &Request{Kind: RPCApp, App: app, Data: data}
+	resp, err := n.call(to, req)
+	stats.Messages++
+	stats.Bytes += req.WireSize()
+	stats.Hops++
+	if err != nil {
+		stats.Failed++
+		return nil, stats, err
+	}
+	stats.Messages++
+	stats.Bytes += resp.WireSize()
+	if !resp.OK {
+		return nil, stats, fmt.Errorf("dht: app %q rejected by %s", app, to.ID.Short())
+	}
+	return resp.Data, stats, nil
+}
+
+// LocalGet returns values held in this node's own store, without network.
+func (n *Node) LocalGet(key ID) []StoredValue {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.Get(key, n.info.Clock())
+}
+
+// LocalPut stores a value directly in this node's own store.
+func (n *Node) LocalPut(key ID, data []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.store.Put(key, StoredValue{
+		Data:      data,
+		Publisher: n.self.ID,
+		StoredAt:  n.info.Clock(),
+		TTL:       n.info.TTL,
+	})
+}
+
+// Republish re-stores every locally held value, refreshing replicas after
+// churn. It returns the number of values republished.
+func (n *Node) Republish() (int, LookupStats) {
+	n.mu.Lock()
+	keys := n.store.Keys()
+	type kv struct {
+		key ID
+		val StoredValue
+	}
+	var all []kv
+	now := n.info.Clock()
+	for _, k := range keys {
+		for _, v := range n.store.Get(k, now) {
+			if v.Publisher == n.self.ID {
+				all = append(all, kv{k, v})
+			}
+		}
+	}
+	n.mu.Unlock()
+
+	var stats LookupStats
+	for _, e := range all {
+		s, err := n.PutID(e.key, e.val.Data)
+		stats.add(s)
+		if err != nil {
+			continue
+		}
+	}
+	return len(all), stats
+}

@@ -1,0 +1,341 @@
+package dht
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testCluster(t *testing.T, n int) *Cluster {
+	t.Helper()
+	c, err := NewCluster(n, 42, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterBootstrapPopulatesTables(t *testing.T) {
+	c := testCluster(t, 32)
+	for i, n := range c.Nodes {
+		if n.TableLen() < 8 {
+			t.Errorf("node %d table has only %d contacts", i, n.TableLen())
+		}
+	}
+}
+
+func TestPutGetSingleValue(t *testing.T) {
+	c := testCluster(t, 32)
+	if _, err := c.Nodes[3].Put("ns", "hello", []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	values, _, err := c.Nodes[20].Get("ns", "hello")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 1 || string(values[0].Data) != "world" {
+		t.Fatalf("Get = %v, want one value 'world'", values)
+	}
+}
+
+func TestGetMissingKeyReturnsEmpty(t *testing.T) {
+	c := testCluster(t, 16)
+	values, _, err := c.Nodes[0].Get("ns", "absent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 0 {
+		t.Fatalf("Get(absent) = %v, want empty", values)
+	}
+}
+
+func TestMultiValueAccumulation(t *testing.T) {
+	// Posting lists: many publishers store distinct values under one key,
+	// and a reader sees the union.
+	c := testCluster(t, 32)
+	const publishers = 10
+	for i := 0; i < publishers; i++ {
+		data := []byte(fmt.Sprintf("file-%d", i))
+		if _, err := c.Nodes[i].Put("Inverted", "madonna", data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	values, _, err := c.Nodes[30].Get("Inverted", "madonna")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, v := range values {
+		seen[string(v.Data)] = true
+	}
+	if len(seen) != publishers {
+		t.Fatalf("got %d distinct values, want %d", len(seen), publishers)
+	}
+}
+
+func TestRepublishSamePayloadDoesNotDuplicate(t *testing.T) {
+	c := testCluster(t, 24)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Nodes[1].Put("ns", "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	values, _, err := c.Nodes[9].Get("ns", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 1 {
+		t.Fatalf("got %d values after triple publish, want 1", len(values))
+	}
+}
+
+func TestLookupFindsGlobalClosest(t *testing.T) {
+	c := testCluster(t, 64)
+	target := StringID("some target key")
+	// Globally closest node, by brute force.
+	best := c.Nodes[0].Info()
+	for _, n := range c.Nodes[1:] {
+		if Closer(n.Info().ID, best.ID, target) {
+			best = n.Info()
+		}
+	}
+	got, stats, err := c.Nodes[5].Lookup(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("empty lookup result")
+	}
+	found := got[0].ID == best.ID
+	if c.Nodes[5].Info().ID == best.ID {
+		found = true // the caller itself is closest; Lookup returns peers
+	}
+	if !found {
+		t.Errorf("lookup nearest = %s, want global closest %s", got[0].ID.Short(), best.ID.Short())
+	}
+	if stats.Messages == 0 || stats.Hops == 0 {
+		t.Error("lookup reported zero traffic")
+	}
+}
+
+func TestLookupHopsLogarithmic(t *testing.T) {
+	c := testCluster(t, 128)
+	maxHops := 0
+	for i := 0; i < 20; i++ {
+		_, stats, err := c.RandomNode().Lookup(StringID(fmt.Sprintf("key-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Hops > maxHops {
+			maxHops = stats.Hops
+		}
+	}
+	// log2(128) = 7; allow slack for α-batching and convergence rounds.
+	if maxHops > 12 {
+		t.Errorf("max lookup hops = %d, want O(log N) <= 12", maxHops)
+	}
+}
+
+func TestOwnerIsClosestLiveNode(t *testing.T) {
+	c := testCluster(t, 32)
+	key := StringID("ownership")
+	owner, _, err := c.Nodes[7].Owner(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		if n.Info().ID != owner.ID && Closer(n.Info().ID, owner.ID, key) {
+			t.Fatalf("node %s closer to key than reported owner %s", n.Info().ID.Short(), owner.ID.Short())
+		}
+	}
+}
+
+func TestAppMessageRouting(t *testing.T) {
+	c := testCluster(t, 32)
+	key := StringID("app-key")
+	var ownerIdx int
+	for i, n := range c.Nodes {
+		n.RegisterApp("echo", func(from NodeInfo, data []byte) []byte {
+			return append([]byte("reply:"), data...)
+		})
+		owner, _, _ := c.Nodes[0].Owner(key)
+		if n.Info().ID == owner.ID {
+			ownerIdx = i
+		}
+	}
+	reply, _, err := c.Nodes[1].Send(key, "echo", []byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "reply:ping" {
+		t.Errorf("reply = %q", reply)
+	}
+	_ = ownerIdx
+}
+
+func TestSendToUnknownHandlerFails(t *testing.T) {
+	c := testCluster(t, 8)
+	_, _, err := c.Nodes[0].SendTo(c.Nodes[1].Info(), "nope", nil)
+	if err == nil {
+		t.Error("Send to unregistered handler succeeded")
+	}
+}
+
+func TestValueSurvivesReplicaFailure(t *testing.T) {
+	c, err := NewCluster(48, 7, Config{Replicate: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := NamespacedID("ns", "durable")
+	if _, err := c.Nodes[0].PutID(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the single closest holder.
+	closest, _, err := c.Nodes[0].Lookup(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range c.Nodes {
+		if n.Info().ID == closest[0].ID {
+			c.RemoveNode(i)
+			break
+		}
+	}
+	values, _, err := c.Nodes[1].GetID(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 1 {
+		t.Fatalf("value lost after replica failure: got %d values", len(values))
+	}
+}
+
+func TestChurnJoinServesExistingKeys(t *testing.T) {
+	c := testCluster(t, 24)
+	if _, err := c.Nodes[0].Put("ns", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.AddNode(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values, _, err := n.Get("ns", "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 1 || string(values[0].Data) != "v" {
+		t.Fatalf("new node Get = %v", values)
+	}
+}
+
+func TestRepublishRestoresReplication(t *testing.T) {
+	c, err := NewCluster(48, 11, Config{Replicate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := c.Nodes[0]
+	if _, err := pub.Put("ns", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Remove two of the closest holders, then republish from the origin.
+	key := NamespacedID("ns", "k")
+	closest, _, _ := pub.Lookup(key)
+	removed := 0
+	for _, holder := range closest[:2] {
+		for i, n := range c.Nodes {
+			if n.Info().ID == holder.ID && n != pub {
+				c.RemoveNode(i)
+				removed++
+				break
+			}
+		}
+	}
+	// The publisher also holds a copy iff it was among the closest; it can
+	// always republish from its local store.
+	pub.LocalPut(key, []byte("v"))
+	count, _ := pub.Republish()
+	if count == 0 {
+		t.Fatal("Republish found nothing to republish")
+	}
+	values, _, err := c.Nodes[len(c.Nodes)-1].GetID(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) == 0 {
+		t.Fatal("value unavailable after republish")
+	}
+}
+
+func TestFailureInjectionLookupStillConverges(t *testing.T) {
+	c := testCluster(t, 64)
+	c.Net.SetFailureProbability(0.15)
+	ok := 0
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("k-%d", i)
+		if _, err := c.Nodes[i%len(c.Nodes)].Put("ns", key, []byte("v")); err != nil {
+			continue
+		}
+		values, _, err := c.Nodes[(i+31)%len(c.Nodes)].Get("ns", key)
+		if err == nil && len(values) > 0 {
+			ok++
+		}
+	}
+	if ok < 15 {
+		t.Errorf("only %d/20 put-get pairs survived 15%% message loss", ok)
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	c := testCluster(t, 16)
+	before := c.Net.Stats()
+	if _, err := c.Nodes[0].Put("ns", "k", []byte("some payload bytes")); err != nil {
+		t.Fatal(err)
+	}
+	d := c.Net.Stats().Sub(before)
+	if d.Messages == 0 || d.Bytes == 0 {
+		t.Error("no traffic recorded for Put")
+	}
+	if d.ByKind["store"].Messages == 0 || d.ByKind["store"].Bytes == 0 {
+		t.Error("no store RPCs recorded for Put")
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.Normalize()
+	if c.K != 20 || c.Alpha != 3 || c.Replicate != 3 || c.Clock == nil {
+		t.Errorf("defaults = %+v", c)
+	}
+	c2 := Config{K: 8, Alpha: 2, Replicate: 1}.Normalize()
+	if c2.K != 8 || c2.Alpha != 2 || c2.Replicate != 1 {
+		t.Errorf("explicit values overridden: %+v", c2)
+	}
+}
+
+func TestNewClusterRejectsNonPositive(t *testing.T) {
+	if _, err := NewCluster(0, 1, Config{}); err == nil {
+		t.Error("NewCluster(0) succeeded")
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	c, err := NewCluster(128, 1, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Nodes[i%len(c.Nodes)].Lookup(StringID(fmt.Sprintf("key-%d", i)))
+	}
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	c, err := NewCluster(64, 1, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		c.Nodes[i%len(c.Nodes)].Put("bench", key, []byte("value"))
+		c.Nodes[(i+13)%len(c.Nodes)].Get("bench", key)
+	}
+}

@@ -1,0 +1,92 @@
+package dht
+
+// RPCKind enumerates the Kademlia RPCs plus the application-message channel
+// PIER uses to route query plans and tuple batches to key owners.
+type RPCKind uint8
+
+// The RPC vocabulary.
+const (
+	RPCPing RPCKind = iota
+	RPCFindNode
+	RPCFindValue
+	RPCStore
+	RPCApp
+)
+
+// String returns the RPC name, used as a traffic-accounting kind.
+func (k RPCKind) String() string {
+	switch k {
+	case RPCPing:
+		return "ping"
+	case RPCFindNode:
+		return "find_node"
+	case RPCFindValue:
+		return "find_value"
+	case RPCStore:
+		return "store"
+	case RPCApp:
+		return "app"
+	default:
+		return "unknown"
+	}
+}
+
+// Request is a DHT RPC request.
+type Request struct {
+	Kind   RPCKind
+	From   NodeInfo
+	Target ID          // FindNode / FindValue target, Store key
+	Value  StoredValue // Store payload
+	App    string      // App handler dispatch key
+	Data   []byte      // App payload
+}
+
+// Response is a DHT RPC response.
+type Response struct {
+	From    NodeInfo
+	Closest []NodeInfo    // FindNode / FindValue: closer contacts
+	Values  []StoredValue // FindValue: stored values, if the key is held here
+	Data    []byte        // App reply payload
+	OK      bool
+}
+
+// nodeInfoWireBytes approximates the serialized size of one contact:
+// 20-byte ID + address string + framing.
+func nodeInfoWireBytes(n NodeInfo) int { return IDBytes + len(n.Addr) + 4 }
+
+// rpcHeaderBytes approximates fixed per-message framing overhead.
+const rpcHeaderBytes = 16
+
+// WireSize estimates the serialized request size in bytes for traffic
+// accounting on the simulated transport. The TCP transport counts real
+// encoded bytes instead.
+func (r *Request) WireSize() int {
+	n := rpcHeaderBytes + nodeInfoWireBytes(r.From) + IDBytes
+	n += len(r.Value.Data)
+	if len(r.Value.Data) > 0 {
+		n += IDBytes + 12 // publisher + timestamps
+	}
+	n += len(r.App) + len(r.Data)
+	return n
+}
+
+// WireSize estimates the serialized response size in bytes.
+func (r *Response) WireSize() int {
+	n := rpcHeaderBytes + nodeInfoWireBytes(r.From)
+	for _, c := range r.Closest {
+		n += nodeInfoWireBytes(c)
+	}
+	for _, v := range r.Values {
+		n += len(v.Data) + IDBytes + 12
+	}
+	n += len(r.Data)
+	return n
+}
+
+// Transport delivers RPCs to remote nodes. Implementations: LocalNetwork
+// (in-process, simulated accounting) and the TCP transport in package wire.
+type Transport interface {
+	// Call delivers req to the node at to and returns its response.
+	// A nil response with a non-nil error means the node is unreachable.
+	Call(to NodeInfo, req *Request) (*Response, error)
+}

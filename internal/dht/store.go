@@ -1,0 +1,130 @@
+package dht
+
+import (
+	"time"
+)
+
+// StoredValue is one value published under a key. A key maps to a *set* of
+// values (multi-value store): every replica of a file publishes its own
+// Inverted tuple under the same keyword, so posting lists accumulate.
+type StoredValue struct {
+	Data      []byte
+	Publisher ID            // node that created the value
+	StoredAt  time.Duration // virtual or wall-relative store time
+	TTL       time.Duration // 0 means no expiry
+}
+
+// expired reports whether v is past its TTL at time now.
+func (v StoredValue) expired(now time.Duration) bool {
+	return v.TTL > 0 && now > v.StoredAt+v.TTL
+}
+
+// Store is the node-local key/value store. Values are deduplicated by
+// (publisher, payload) so republishing refreshes rather than duplicates.
+// It is not safe for concurrent use; Node guards it.
+type Store struct {
+	values map[ID][]StoredValue
+	bytes  int
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{values: make(map[ID][]StoredValue)}
+}
+
+// Put inserts v under key, replacing an existing value with the same
+// publisher and identical payload (refresh). It reports whether the value
+// was new.
+func (s *Store) Put(key ID, v StoredValue) bool {
+	vs := s.values[key]
+	for i := range vs {
+		if vs[i].Publisher == v.Publisher && string(vs[i].Data) == string(v.Data) {
+			vs[i].StoredAt = v.StoredAt
+			vs[i].TTL = v.TTL
+			return false
+		}
+	}
+	s.values[key] = append(vs, v)
+	s.bytes += len(v.Data)
+	return true
+}
+
+// Get returns the live values under key at time now, pruning expired ones.
+func (s *Store) Get(key ID, now time.Duration) []StoredValue {
+	vs, ok := s.values[key]
+	if !ok {
+		return nil
+	}
+	live := vs[:0]
+	for _, v := range vs {
+		if !v.expired(now) {
+			live = append(live, v)
+		} else {
+			s.bytes -= len(v.Data)
+		}
+	}
+	if len(live) == 0 {
+		delete(s.values, key)
+		return nil
+	}
+	s.values[key] = live
+	out := make([]StoredValue, len(live))
+	copy(out, live)
+	return out
+}
+
+// Delete removes every value under key.
+func (s *Store) Delete(key ID) {
+	for _, v := range s.values[key] {
+		s.bytes -= len(v.Data)
+	}
+	delete(s.values, key)
+}
+
+// Keys returns every key currently present (including ones whose values may
+// all be expired; Get prunes lazily).
+func (s *Store) Keys() []ID {
+	keys := make([]ID, 0, len(s.values))
+	for k := range s.values {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Len returns the number of keys.
+func (s *Store) Len() int { return len(s.values) }
+
+// ValueCount returns the total number of stored values across keys.
+func (s *Store) ValueCount() int {
+	n := 0
+	for _, vs := range s.values {
+		n += len(vs)
+	}
+	return n
+}
+
+// Bytes returns the approximate payload bytes held.
+func (s *Store) Bytes() int { return s.bytes }
+
+// Expire removes all values past their TTL at time now and returns how many
+// were removed. Nodes run this periodically.
+func (s *Store) Expire(now time.Duration) int {
+	removed := 0
+	for k, vs := range s.values {
+		live := vs[:0]
+		for _, v := range vs {
+			if v.expired(now) {
+				removed++
+				s.bytes -= len(v.Data)
+			} else {
+				live = append(live, v)
+			}
+		}
+		if len(live) == 0 {
+			delete(s.values, k)
+		} else {
+			s.values[k] = live
+		}
+	}
+	return removed
+}

@@ -1,0 +1,140 @@
+package dht
+
+import (
+	"sort"
+)
+
+// NodeInfo identifies a DHT participant: its identifier plus a
+// transport-specific address.
+type NodeInfo struct {
+	ID   ID
+	Addr string
+}
+
+// bucket is one k-bucket: contacts ordered least-recently-seen first, as in
+// the Kademlia paper, so stale contacts are evicted before fresh ones.
+type bucket struct {
+	entries []NodeInfo
+}
+
+func (b *bucket) indexOf(id ID) int {
+	for i, e := range b.entries {
+		if e.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Table is a Kademlia routing table: IDBits k-buckets keyed by shared-prefix
+// length with the owner. It is not safe for concurrent use; Node guards it.
+type Table struct {
+	self    ID
+	k       int
+	buckets [IDBits]bucket
+}
+
+// NewTable creates a routing table for the node with identifier self and
+// bucket capacity k.
+func NewTable(self ID, k int) *Table {
+	if k <= 0 {
+		panic("dht: bucket size must be positive")
+	}
+	return &Table{self: self, k: k}
+}
+
+// Self returns the owner's identifier.
+func (t *Table) Self() ID { return t.self }
+
+// K returns the bucket capacity.
+func (t *Table) K() int { return t.k }
+
+// Update records contact with n. Known contacts move to the tail
+// (most-recently-seen); new contacts are appended if the bucket has room.
+// When a bucket is full the new contact is dropped and the least-recently
+// seen entry is returned so the caller may ping it and call Evict if it is
+// dead — Kademlia's liveness check. The second result reports whether the
+// table changed.
+func (t *Table) Update(n NodeInfo) (evictCandidate *NodeInfo, updated bool) {
+	idx := BucketIndex(t.self, n.ID)
+	if idx < 0 {
+		return nil, false // never store ourselves
+	}
+	b := &t.buckets[idx]
+	if i := b.indexOf(n.ID); i >= 0 {
+		// Move to tail, refreshing the address in case it changed.
+		copy(b.entries[i:], b.entries[i+1:])
+		b.entries[len(b.entries)-1] = n
+		return nil, true
+	}
+	if len(b.entries) < t.k {
+		b.entries = append(b.entries, n)
+		return nil, true
+	}
+	lru := b.entries[0]
+	return &lru, false
+}
+
+// Evict removes id if present, making room for fresher contacts.
+func (t *Table) Evict(id ID) {
+	idx := BucketIndex(t.self, id)
+	if idx < 0 {
+		return
+	}
+	b := &t.buckets[idx]
+	if i := b.indexOf(id); i >= 0 {
+		b.entries = append(b.entries[:i], b.entries[i+1:]...)
+	}
+}
+
+// Contains reports whether id is in the table.
+func (t *Table) Contains(id ID) bool {
+	idx := BucketIndex(t.self, id)
+	if idx < 0 {
+		return false
+	}
+	return t.buckets[idx].indexOf(id) >= 0
+}
+
+// Len returns the total number of contacts.
+func (t *Table) Len() int {
+	n := 0
+	for i := range t.buckets {
+		n += len(t.buckets[i].entries)
+	}
+	return n
+}
+
+// Closest returns up to count contacts closest to target under XOR,
+// ordered nearest first.
+func (t *Table) Closest(target ID, count int) []NodeInfo {
+	all := make([]NodeInfo, 0, t.Len())
+	for i := range t.buckets {
+		all = append(all, t.buckets[i].entries...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return Closer(all[i].ID, all[j].ID, target)
+	})
+	if len(all) > count {
+		all = all[:count]
+	}
+	return all
+}
+
+// Contacts returns a copy of every contact in the table.
+func (t *Table) Contacts() []NodeInfo {
+	all := make([]NodeInfo, 0, t.Len())
+	for i := range t.buckets {
+		all = append(all, t.buckets[i].entries...)
+	}
+	return all
+}
+
+// sortByDistance orders infos in place, nearest to target first, and
+// returns the slice for convenience.
+func sortByDistance(infos []NodeInfo, target ID) []NodeInfo {
+	sort.Slice(infos, func(i, j int) bool {
+		return Closer(infos[i].ID, infos[j].ID, target)
+	})
+	return infos
+}

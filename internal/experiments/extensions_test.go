@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestExtensionHorizonLoad(t *testing.T) {
+	env := testEnv(t)
+	series := ExtensionHorizonLoad(env)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	flood, hyb := series[0], series[1]
+	// Flooding QDR grows with load; both axes monotone.
+	for i := 1; i < len(flood.Points); i++ {
+		if flood.Points[i].X <= flood.Points[i-1].X || flood.Points[i].Y < flood.Points[i-1].Y {
+			t.Fatalf("flooding curve not monotone at %d: %+v -> %+v", i, flood.Points[i-1], flood.Points[i])
+		}
+	}
+	if len(hyb.Points) != 1 {
+		t.Fatalf("hybrid points = %d", len(hyb.Points))
+	}
+	h := hyb.Points[0]
+	// The claim: at comparable (or lower) load, the hybrid's recall beats
+	// flooding. Find the flooding point with the nearest load >= hybrid's.
+	for _, p := range flood.Points {
+		if p.X >= h.X {
+			if h.Y <= p.Y {
+				t.Errorf("hybrid QDR %.1f at load %.1fk not above flooding %.1f at load %.1fk", h.Y, h.X, p.Y, p.X)
+			}
+			break
+		}
+	}
+	// The headline: the hybrid strictly dominates the deepest flood —
+	// higher recall at lower per-query load.
+	deepest := flood.Points[len(flood.Points)-1]
+	if !(h.Y > deepest.Y && h.X < deepest.X) {
+		t.Errorf("hybrid (load %.1fk, QDR %.1f) does not dominate deepest flood (load %.1fk, QDR %.1f)",
+			h.X, h.Y, deepest.X, deepest.Y)
+	}
+}
+
+func TestExtensionCostRecall(t *testing.T) {
+	env := testEnv(t)
+	s := ExtensionCostRecall(env, 5)
+	if len(s.Points) != 11 {
+		t.Fatalf("points = %d", len(s.Points))
+	}
+	// Recall rises with threshold; marginal recall per unit cost shrinks
+	// (the sweet-spot shape).
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y < s.Points[i-1].Y {
+			t.Fatalf("recall decreased at threshold %d", i)
+		}
+	}
+	firstGain := (s.Points[1].Y - s.Points[0].Y) / (s.Points[1].X - s.Points[0].X + 1e-12)
+	lastGain := (s.Points[10].Y - s.Points[9].Y) / (s.Points[10].X - s.Points[9].X + 1e-12)
+	if lastGain >= firstGain {
+		t.Errorf("no diminishing recall-per-cost: first %.3f, last %.3f", firstGain, lastGain)
+	}
+}
+
+func TestTFBloomSweep(t *testing.T) {
+	env := testEnv(t)
+	points := TFBloomSweep(env, 0.3)
+	if len(points) != 5 {
+		t.Fatalf("points = %d", len(points))
+	}
+	exact := points[0]
+	random := points[len(points)-1]
+	if exact.Name != "TF (exact)" || random.Name != "Random" {
+		t.Fatalf("unexpected ordering: %v", points)
+	}
+	// Every Bloom variant sits between Random and exact TF; a saturated
+	// filter degenerates to Random, so allow tie-breaking noise.
+	const noise = 6.0
+	prev := exact.AvgQR + noise
+	for _, p := range points[1:4] {
+		if p.AvgQR > exact.AvgQR+noise {
+			t.Errorf("%s QR %.1f above exact TF %.1f", p.Name, p.AvgQR, exact.AvgQR)
+		}
+		if p.AvgQR < random.AvgQR-noise {
+			t.Errorf("%s QR %.1f below Random %.1f", p.Name, p.AvgQR, random.AvgQR)
+		}
+		if p.AvgQR > prev+noise {
+			t.Errorf("smaller filter %s outperformed larger by more than noise", p.Name)
+		}
+		prev = p.AvgQR
+		if p.FilterBytes <= 0 {
+			t.Errorf("%s has no filter size", p.Name)
+		}
+	}
+	// The largest filter must retain most of exact TF's advantage.
+	if points[1].AvgQR < (exact.AvgQR+random.AvgQR)/2-noise {
+		t.Errorf("large filter %s QR %.1f lost the TF signal (exact %.1f, random %.1f)",
+			points[1].Name, points[1].AvgQR, exact.AvgQR, random.AvgQR)
+	}
+	// False-positive rate grows as the filter shrinks.
+	if points[1].FPRate > points[3].FPRate {
+		t.Errorf("fp rate not increasing: %.4f .. %.4f", points[1].FPRate, points[3].FPRate)
+	}
+}

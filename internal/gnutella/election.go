@@ -1,0 +1,156 @@
+package gnutella
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Capability describes what a client knows about itself when deciding
+// whether it is "ultrapeer capable" (§4.1: nodes look at their uptime,
+// operating system and bandwidth, then advertise the result in their
+// connection headers).
+type Capability struct {
+	UptimeMinutes    int
+	DownstreamKbps   int
+	UpstreamKbps     int
+	AcceptedIncoming bool // not firewalled
+	ModernOS         bool // can hold many sockets open
+}
+
+// Thresholds mirror the LimeWire election heuristics of the era.
+const (
+	minUltrapeerUptimeMinutes = 30
+	minUltrapeerDownKbps      = 64
+	minUltrapeerUpKbps        = 32
+)
+
+// UltrapeerCapable reports whether the node may promote itself.
+func (c Capability) UltrapeerCapable() bool {
+	return c.UptimeMinutes >= minUltrapeerUptimeMinutes &&
+		c.DownstreamKbps >= minUltrapeerDownKbps &&
+		c.UpstreamKbps >= minUltrapeerUpKbps &&
+		c.AcceptedIncoming &&
+		c.ModernOS
+}
+
+// Handshake is a Gnutella 0.6 connection-header exchange. Only the headers
+// the paper's discussion touches are modelled: ultrapeer capability, query
+// routing (QRP) support, and leaf guidance.
+type Handshake struct {
+	Headers map[string]string
+}
+
+// NewHandshake builds the headers a connecting client offers.
+func NewHandshake(cap Capability, asUltrapeer bool) Handshake {
+	h := Handshake{Headers: map[string]string{
+		"User-Agent":      "piersearch-limewire/1.0",
+		"X-Query-Routing": "0.1",
+	}}
+	if asUltrapeer {
+		h.Headers["X-Ultrapeer"] = "True"
+	} else {
+		h.Headers["X-Ultrapeer"] = "False"
+	}
+	if cap.UltrapeerCapable() {
+		h.Headers["X-Ultrapeer-Capable"] = "True"
+	}
+	return h
+}
+
+// IsUltrapeer reports whether the peer offered itself as an ultrapeer.
+func (h Handshake) IsUltrapeer() bool {
+	return strings.EqualFold(h.Headers["X-Ultrapeer"], "true")
+}
+
+// UltrapeerCapable reports whether the peer advertised capability.
+func (h Handshake) UltrapeerCapable() bool {
+	return strings.EqualFold(h.Headers["X-Ultrapeer-Capable"], "true")
+}
+
+// LeafGuidance is the ultrapeer's response when it has spare capacity and
+// the connecting capable leaf should stay a leaf ("X-Ultrapeer-Needed:
+// false") or promote itself ("true").
+func LeafGuidance(upLeafSlotsFree bool) map[string]string {
+	if upLeafSlotsFree {
+		return map[string]string{"X-Ultrapeer-Needed": "False"}
+	}
+	return map[string]string{"X-Ultrapeer-Needed": "True"}
+}
+
+// Encode renders the handshake in wire form, headers sorted for
+// determinism.
+func (h Handshake) Encode() string {
+	var b strings.Builder
+	b.WriteString("GNUTELLA CONNECT/0.6\r\n")
+	keys := make([]string, 0, len(h.Headers))
+	for k := range h.Headers {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s: %s\r\n", k, h.Headers[k])
+	}
+	b.WriteString("\r\n")
+	return b.String()
+}
+
+// ParseHandshake parses a wire-form handshake.
+func ParseHandshake(s string) (Handshake, error) {
+	lines := strings.Split(s, "\r\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "GNUTELLA CONNECT/") {
+		return Handshake{}, fmt.Errorf("gnutella: not a handshake: %q", firstLine(s))
+	}
+	h := Handshake{Headers: make(map[string]string)}
+	for _, line := range lines[1:] {
+		if line == "" {
+			break
+		}
+		k, v, ok := strings.Cut(line, ":")
+		if !ok {
+			return Handshake{}, fmt.Errorf("gnutella: malformed header %q", line)
+		}
+		h.Headers[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	return h, nil
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\r'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Elect runs the self-election over a population of capabilities and
+// returns the indices that promote to ultrapeer. The network needs roughly
+// one ultrapeer per avgLeaves leaves; capable nodes promote until the
+// quota is met, preferring higher uptime (the stability the heuristics
+// actually optimise for).
+func Elect(caps []Capability, avgLeaves int) []int {
+	if avgLeaves <= 0 {
+		avgLeaves = 30
+	}
+	need := len(caps) / (avgLeaves + 1)
+	if need < 1 {
+		need = 1
+	}
+	capable := make([]int, 0, len(caps))
+	for i, c := range caps {
+		if c.UltrapeerCapable() {
+			capable = append(capable, i)
+		}
+	}
+	sort.Slice(capable, func(a, b int) bool {
+		ca, cb := caps[capable[a]], caps[capable[b]]
+		if ca.UptimeMinutes != cb.UptimeMinutes {
+			return ca.UptimeMinutes > cb.UptimeMinutes
+		}
+		return capable[a] < capable[b]
+	})
+	if len(capable) > need {
+		capable = capable[:need]
+	}
+	sort.Ints(capable)
+	return capable
+}

@@ -1,0 +1,207 @@
+package gnutella
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func capableCap() Capability {
+	return Capability{
+		UptimeMinutes:    120,
+		DownstreamKbps:   512,
+		UpstreamKbps:     128,
+		AcceptedIncoming: true,
+		ModernOS:         true,
+	}
+}
+
+func TestUltrapeerCapable(t *testing.T) {
+	if !capableCap().UltrapeerCapable() {
+		t.Error("fully capable node not capable")
+	}
+	cases := []func(*Capability){
+		func(c *Capability) { c.UptimeMinutes = 5 },
+		func(c *Capability) { c.DownstreamKbps = 30 },
+		func(c *Capability) { c.UpstreamKbps = 10 },
+		func(c *Capability) { c.AcceptedIncoming = false },
+		func(c *Capability) { c.ModernOS = false },
+	}
+	for i, mutate := range cases {
+		c := capableCap()
+		mutate(&c)
+		if c.UltrapeerCapable() {
+			t.Errorf("case %d: deficient node reported capable", i)
+		}
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	h := NewHandshake(capableCap(), true)
+	wire := h.Encode()
+	if !strings.HasPrefix(wire, "GNUTELLA CONNECT/0.6\r\n") {
+		t.Fatalf("wire form: %q", wire)
+	}
+	got, err := ParseHandshake(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsUltrapeer() || !got.UltrapeerCapable() {
+		t.Errorf("parsed headers: %v", got.Headers)
+	}
+	leaf := NewHandshake(Capability{}, false)
+	got, err = ParseHandshake(leaf.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.IsUltrapeer() || got.UltrapeerCapable() {
+		t.Errorf("leaf handshake parsed as ultrapeer: %v", got.Headers)
+	}
+}
+
+func TestParseHandshakeErrors(t *testing.T) {
+	if _, err := ParseHandshake("HTTP/1.1 200 OK\r\n\r\n"); err == nil {
+		t.Error("non-gnutella handshake accepted")
+	}
+	if _, err := ParseHandshake("GNUTELLA CONNECT/0.6\r\nbroken header\r\n\r\n"); err == nil {
+		t.Error("malformed header accepted")
+	}
+}
+
+func TestLeafGuidance(t *testing.T) {
+	if LeafGuidance(true)["X-Ultrapeer-Needed"] != "False" {
+		t.Error("spare capacity should demote the connecting node")
+	}
+	if LeafGuidance(false)["X-Ultrapeer-Needed"] != "True" {
+		t.Error("full ultrapeer should promote the connecting node")
+	}
+}
+
+func TestElectQuotaAndPreference(t *testing.T) {
+	caps := make([]Capability, 100)
+	for i := range caps {
+		caps[i] = capableCap()
+		caps[i].UptimeMinutes = i // later nodes are longer-lived
+	}
+	// A third are not capable at all.
+	for i := 0; i < 33; i++ {
+		caps[i].AcceptedIncoming = false
+	}
+	elected := Elect(caps, 30)
+	want := 100 / 31
+	if len(elected) != want {
+		t.Fatalf("elected %d, want %d", len(elected), want)
+	}
+	// Preference: the highest-uptime capable nodes win.
+	for _, idx := range elected {
+		if caps[idx].UptimeMinutes < 90 {
+			t.Errorf("low-uptime node %d elected over higher-uptime peers", idx)
+		}
+		if !caps[idx].UltrapeerCapable() {
+			t.Errorf("incapable node %d elected", idx)
+		}
+	}
+}
+
+func TestElectFewCapable(t *testing.T) {
+	caps := make([]Capability, 50)
+	caps[7] = capableCap()
+	elected := Elect(caps, 30)
+	if len(elected) != 1 || elected[0] != 7 {
+		t.Errorf("elected = %v, want just node 7", elected)
+	}
+}
+
+func TestChurnDetachedUltrapeerStopsAnswering(t *testing.T) {
+	topo := smallTopo(t)
+	target := topo.UPAdj[0][0]
+	lib := libWith(t, topo, map[HostID][]string{target: {"solo item.mp3"}})
+	net := NewNetwork(topo, lib, NetworkConfig{DynamicQuery: false, MaxTTL: 3, Seed: 4})
+	net.DetachUltrapeer(target)
+	if net.Alive(target) {
+		t.Fatal("detached ultrapeer still alive")
+	}
+	q := net.Query(0, []string{"solo", "item"})
+	net.Sim.Run()
+	if len(q.Results) != 0 {
+		t.Errorf("detached ultrapeer answered %d results", len(q.Results))
+	}
+	// Rejoin: the item becomes findable again.
+	net.AttachUltrapeer(target)
+	q2 := net.Query(0, []string{"solo", "item"})
+	net.Sim.Run()
+	if len(q2.Results) != 1 {
+		t.Errorf("after rejoin: %d results, want 1", len(q2.Results))
+	}
+}
+
+func TestChurnFloodingRoutesAroundFailure(t *testing.T) {
+	topo := smallTopo(t)
+	// Place the file at depth 2 and kill one depth-1 node; redundant paths
+	// should still deliver the query.
+	depth := BFSDepths(topo, 0)
+	var far HostID = -1
+	for u, d := range depth {
+		if d == 2 {
+			far = u
+			break
+		}
+	}
+	if far == -1 {
+		t.Skip("no depth-2 ultrapeer")
+	}
+	lib := libWith(t, topo, map[HostID][]string{far: {"resilient file.mp3"}})
+	net := NewNetwork(topo, lib, NetworkConfig{DynamicQuery: false, MaxTTL: 4, Seed: 4})
+	net.DetachUltrapeer(topo.UPAdj[0][0])
+	q := net.Query(0, []string{"resilient", "file"})
+	net.Sim.Run()
+	if len(q.Results) != 1 {
+		t.Errorf("flood failed to route around a dead neighbour: %d results", len(q.Results))
+	}
+}
+
+func TestBrowseHost(t *testing.T) {
+	topo := smallTopo(t)
+	leaf := 200
+	lib := libWith(t, topo, map[HostID][]string{leaf: {"shared a.mp3", "shared b.mp3"}})
+	net := NewNetwork(topo, lib, NetworkConfig{Seed: 4})
+	var got []SharedFile
+	net.BrowseHost(0, leaf, func(files []SharedFile) { got = files })
+	net.Sim.Run()
+	if len(got) != 2 {
+		t.Fatalf("BrowseHost returned %d files", len(got))
+	}
+	// Browsing an empty host returns an empty (but delivered) list.
+	delivered := false
+	net.BrowseHost(0, 201, func(files []SharedFile) { delivered = true; got = files })
+	net.Sim.Run()
+	if !delivered || len(got) != 0 {
+		t.Errorf("empty BrowseHost: delivered=%v files=%d", delivered, len(got))
+	}
+}
+
+func TestBrowseHostLocalSubtree(t *testing.T) {
+	topo := smallTopo(t)
+	u := topo.UltrapeerOf(200)
+	lib := libWith(t, topo, map[HostID][]string{200: {"local file.mp3"}})
+	net := NewNetwork(topo, lib, NetworkConfig{Seed: 4})
+	var got []SharedFile
+	net.BrowseHost(u, 200, func(files []SharedFile) { got = files })
+	net.Sim.Run()
+	if len(got) != 1 {
+		t.Errorf("local BrowseHost returned %d files", len(got))
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	topo := smallTopo(t)
+	lib := libWith(t, topo, nil)
+	net := NewNetwork(topo, lib, NetworkConfig{Seed: 4})
+	var rtt time.Duration
+	net.PingPong(0, topo.UPAdj[0][0], func(d time.Duration) { rtt = d })
+	net.Sim.Run()
+	// Two one-way hops of 1.25-2.25s each.
+	if rtt < 2500*time.Millisecond || rtt > 4500*time.Millisecond {
+		t.Errorf("RTT = %v, want 2.5-4.5s", rtt)
+	}
+}

@@ -1,0 +1,64 @@
+package hybrid
+
+import (
+	"piersearch/internal/bloom"
+)
+
+// TFBloom is the §6.3 storage optimisation the paper suggests but does not
+// evaluate: instead of keeping exact term-frequency counts, a node encodes
+// the set of rare terms (frequency <= threshold) in a Bloom filter. A file
+// is scored rare if any of its terms hits the filter. False positives make
+// some popular terms look rare, so accuracy degrades gracefully as the
+// filter shrinks — quantified by BenchmarkAblationTFBloom.
+type TFBloom struct {
+	filter *bloom.Filter
+	terms  [][]string
+}
+
+// NewTFBloom builds the scheme: terms with instance frequency <= rareThreshold
+// are inserted into a Bloom filter of filterBits bits.
+func NewTFBloom(fileTerms [][]string, termFreq map[string]int, rareThreshold int, filterBits uint64) *TFBloom {
+	rare := 0
+	for _, f := range termFreq {
+		if f <= rareThreshold {
+			rare++
+		}
+	}
+	if rare == 0 {
+		rare = 1
+	}
+	f := bloom.New(filterBits, 4)
+	for term, freq := range termFreq {
+		if freq <= rareThreshold {
+			f.AddString(term)
+		}
+	}
+	return &TFBloom{filter: f, terms: fileTerms}
+}
+
+// Name implements Scheme.
+func (t *TFBloom) Name() string { return "TF-Bloom" }
+
+// Scores implements Scheme: 0 for files with a (probably) rare term, 1
+// otherwise. The coarse two-level score means budget selection breaks ties
+// randomly inside each class.
+func (t *TFBloom) Scores() []float64 {
+	out := make([]float64, len(t.terms))
+	for i, terms := range t.terms {
+		out[i] = 1
+		for _, term := range terms {
+			if t.filter.TestString(term) {
+				out[i] = 0
+				break
+			}
+		}
+	}
+	return out
+}
+
+// FilterBytes reports the memory the scheme ships/stores — the point of
+// the optimisation (exact counts for 38,900 terms vs a few KB of filter).
+func (t *TFBloom) FilterBytes() int { return t.filter.SizeBytes() }
+
+// FalsePositiveRate estimates how often a popular term looks rare.
+func (t *TFBloom) FalsePositiveRate() float64 { return t.filter.EstimatedFalsePositiveRate() }

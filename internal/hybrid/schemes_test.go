@@ -1,0 +1,226 @@
+package hybrid
+
+import (
+	"math"
+	"testing"
+
+	"piersearch/internal/model"
+	"piersearch/internal/trace"
+)
+
+func testTrace() *trace.Trace {
+	return trace.Generate(trace.Config{
+		DistinctFiles: 6000,
+		TargetCopies:  20000,
+		Hosts:         5000,
+		Vocabulary:    4000,
+		Queries:       250,
+		Seed:          3,
+	})
+}
+
+func replicasOf(tr *trace.Trace) []int {
+	out := make([]int, len(tr.Files))
+	for i, f := range tr.Files {
+		out[i] = f.Replicas
+	}
+	return out
+}
+
+func termsOf(tr *trace.Trace) [][]string {
+	out := make([][]string, len(tr.Files))
+	for i, f := range tr.Files {
+		out[i] = f.Terms
+	}
+	return out
+}
+
+func TestPerfectOrdersByReplicas(t *testing.T) {
+	s := Perfect([]int{5, 1, 3})
+	scores := s.Scores()
+	if scores[1] >= scores[2] || scores[2] >= scores[0] {
+		t.Errorf("Perfect scores = %v", scores)
+	}
+	if s.Name() != "Perfect" {
+		t.Errorf("name = %s", s.Name())
+	}
+}
+
+func TestSelectThreshold(t *testing.T) {
+	s := Perfect([]int{5, 1, 3, 2})
+	pub := SelectThreshold(s, 2)
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if pub[i] != want[i] {
+			t.Fatalf("threshold select = %v", pub)
+		}
+	}
+}
+
+func TestSelectBudgetCoversBudgetWithRarestFirst(t *testing.T) {
+	replicas := []int{100, 1, 1, 1, 50, 2}
+	s := Perfect(replicas)
+	pub := SelectBudget(s, replicas, 0.05, 1) // 5% of 155 = 7 instances
+	// Rarest first: three singletons + the 2-replica file = 5 <= 7;
+	// the 50 and 100 replica files must not fit.
+	if !pub[1] || !pub[2] || !pub[3] || !pub[5] {
+		t.Errorf("budget select missed rare files: %v", pub)
+	}
+	if pub[0] || pub[4] {
+		t.Errorf("budget select published popular files: %v", pub)
+	}
+}
+
+func TestSelectBudgetZeroAndFull(t *testing.T) {
+	replicas := []int{3, 1, 2}
+	s := Perfect(replicas)
+	none := SelectBudget(s, replicas, 0, 1)
+	for _, p := range none {
+		if p {
+			t.Fatal("zero budget published something")
+		}
+	}
+	all := SelectBudget(s, replicas, 1, 1)
+	for _, p := range all {
+		if !p {
+			t.Fatal("full budget left something unpublished")
+		}
+	}
+}
+
+func TestSAMExtremes(t *testing.T) {
+	tr := testTrace()
+	replicas := replicasOf(tr)
+	placement := tr.Placement(tr.Cfg.Hosts)
+
+	full := SAM(placement, tr.Cfg.Hosts, 1.0, 9)
+	for i, sc := range full.Scores() {
+		if sc != float64(replicas[i]) {
+			t.Fatalf("SAM(100%%) score[%d] = %v, want %d", i, sc, replicas[i])
+		}
+	}
+	zero := SAM(placement, tr.Cfg.Hosts, 0, 9)
+	for i, sc := range zero.Scores() {
+		if sc != 0 {
+			t.Fatalf("SAM(0%%) score[%d] = %v", i, sc)
+		}
+	}
+	if full.Name() != "SAM(100%)" || zero.Name() != "SAM(0%)" {
+		t.Errorf("names: %s, %s", full.Name(), zero.Name())
+	}
+	partial := SAM(placement, tr.Cfg.Hosts, 0.15, 9)
+	if partial.Name() != "SAM(15%)" {
+		t.Errorf("name = %s", partial.Name())
+	}
+	for i, sc := range partial.Scores() {
+		if sc > float64(replicas[i]) {
+			t.Fatalf("SAM sample count %v exceeds true count %d", sc, replicas[i])
+		}
+	}
+}
+
+func TestQRSScores(t *testing.T) {
+	resultSets := [][]int{{0, 1}, {1}, {2, 3, 4}}
+	s := QRS(resultSets, 6)
+	scores := s.Scores()
+	if scores[0] != 2 || scores[1] != 1 || scores[2] != 3 {
+		t.Errorf("QRS scores = %v", scores)
+	}
+	if !math.IsInf(scores[5], 1) {
+		t.Error("unseen file not +Inf")
+	}
+	// Unseen files are never published, at any budget.
+	pub := SelectBudget(s, []int{1, 1, 1, 1, 1, 1}, 1.0, 1)
+	if pub[5] {
+		t.Error("QRS published a never-observed file")
+	}
+}
+
+// TestSchemeOrdering reproduces the qualitative ordering of Figure 13:
+// Perfect >= SAM(15%) >= TF-family >= Random at a mid publishing budget.
+func TestSchemeOrdering(t *testing.T) {
+	tr := testTrace()
+	replicas := replicasOf(tr)
+	placement := tr.Placement(tr.Cfg.Hosts)
+	resultSets := tr.MatchingFiles()
+	termFreq := tr.TermInstanceFrequency()
+	pairFreq := tr.PairInstanceFrequency()
+	const horizon = 0.05
+	const budget = 0.3
+
+	recall := func(s Scheme) float64 {
+		pub := SelectBudget(s, replicas, budget, 42)
+		return model.AvgQueryRecall(resultSets, replicas, pub, horizon)
+	}
+	perfect := recall(Perfect(replicas))
+	sam := recall(SAM(placement, tr.Cfg.Hosts, 0.15, 7))
+	tf := recall(TF(termsOf(tr), termFreq))
+	tpf := recall(TPF(termsOf(tr), pairFreq, termFreq))
+	random := recall(Random(len(replicas), 7))
+
+	if perfect < sam-1e-9 {
+		t.Errorf("Perfect %.1f < SAM %.1f", perfect, sam)
+	}
+	if sam <= random {
+		t.Errorf("SAM %.1f <= Random %.1f", sam, random)
+	}
+	if tf <= random {
+		t.Errorf("TF %.1f <= Random %.1f", tf, random)
+	}
+	if tpf <= random {
+		t.Errorf("TPF %.1f <= Random %.1f", tpf, random)
+	}
+	if perfect < tf {
+		t.Errorf("Perfect %.1f < TF %.1f", perfect, tf)
+	}
+}
+
+func TestSAMSampleSizeMonotone(t *testing.T) {
+	// Figure 15: larger samples approach Perfect; smaller degrade toward
+	// Random but stay above it.
+	tr := testTrace()
+	replicas := replicasOf(tr)
+	placement := tr.Placement(tr.Cfg.Hosts)
+	resultSets := tr.MatchingFiles()
+	const horizon, budget = 0.05, 0.3
+
+	recall := func(s Scheme) float64 {
+		pub := SelectBudget(s, replicas, budget, 42)
+		return model.AvgQueryRecall(resultSets, replicas, pub, horizon)
+	}
+	r100 := recall(SAM(placement, tr.Cfg.Hosts, 1.0, 7))
+	r15 := recall(SAM(placement, tr.Cfg.Hosts, 0.15, 7))
+	r5 := recall(SAM(placement, tr.Cfg.Hosts, 0.05, 7))
+	rand0 := recall(Random(len(replicas), 7))
+
+	if !(r100 >= r15-2 && r15 >= r5-2) {
+		t.Errorf("SAM not monotone in sample: 100%%=%.1f 15%%=%.1f 5%%=%.1f", r100, r15, r5)
+	}
+	if r5 <= rand0 {
+		t.Errorf("SAM(5%%) %.1f <= Random %.1f", r5, rand0)
+	}
+}
+
+func TestTFFallbackForShortFilenames(t *testing.T) {
+	fileTerms := [][]string{{"solo"}, {"a", "b"}}
+	termFreq := map[string]int{"solo": 3, "a": 10, "b": 5}
+	pairFreq := map[[2]string]int{{"a", "b"}: 4}
+	s := TPF(fileTerms, pairFreq, termFreq)
+	scores := s.Scores()
+	if scores[0] != 3 {
+		t.Errorf("single-term file TPF score = %v, want TF fallback 3", scores[0])
+	}
+	if scores[1] != 4 {
+		t.Errorf("pair score = %v, want 4", scores[1])
+	}
+}
+
+func BenchmarkSelectBudget(b *testing.B) {
+	tr := testTrace()
+	replicas := replicasOf(tr)
+	s := Perfect(replicas)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SelectBudget(s, replicas, 0.3, int64(i))
+	}
+}

@@ -1,0 +1,34 @@
+package model_test
+
+import (
+	"fmt"
+
+	"piersearch/internal/model"
+)
+
+// ExamplePFGnutella evaluates Equation (2) for the paper's setting: in a
+// 75,129-node network with a 15% search horizon, how likely is a flood to
+// find an item with a given number of replicas?
+func ExamplePFGnutella() {
+	const n = 75129
+	horizon := n * 15 / 100
+	for _, replicas := range []int{1, 2, 5, 20} {
+		fmt.Printf("replicas=%2d  PF=%.3f\n", replicas, model.PFGnutella(replicas, n, horizon))
+	}
+	// Output:
+	// replicas= 1  PF=0.150
+	// replicas= 2  PF=0.277
+	// replicas= 5  PF=0.556
+	// replicas=20  PF=0.961
+}
+
+// ExamplePFHybrid shows Equation (1): publishing an item into the DHT
+// lifts its find probability to certainty.
+func ExamplePFHybrid() {
+	pfG := model.PFGnutella(1, 75129, 75129/20)
+	fmt.Printf("flooding only: %.2f\n", model.PFHybrid(pfG, 0))
+	fmt.Printf("published:     %.2f\n", model.PFHybrid(pfG, 1))
+	// Output:
+	// flooding only: 0.05
+	// published:     1.00
+}

@@ -1,0 +1,245 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPFGnutellaEdgeCases(t *testing.T) {
+	if got := PFGnutella(0, 1000, 100); got != 0 {
+		t.Errorf("PF(0 replicas) = %v", got)
+	}
+	if got := PFGnutella(1000, 1000, 1); got != 1 {
+		t.Errorf("PF(all replicas) = %v", got)
+	}
+	if got := PFGnutella(1, 1000, 1000); got != 1 {
+		t.Errorf("PF(full horizon) = %v", got)
+	}
+	if got := PFGnutella(1, 1000, 0); got != 0 {
+		t.Errorf("PF(no horizon) = %v", got)
+	}
+}
+
+func TestPFGnutellaSingleReplicaEqualsHorizonFraction(t *testing.T) {
+	// With one replica, the find probability is exactly horizon/n.
+	got := PFGnutella(1, 75129, 75129/20)
+	want := float64(75129/20) / 75129
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PF(1 replica, 5%% horizon) = %v, want %v", got, want)
+	}
+}
+
+func TestPFGnutellaMonotone(t *testing.T) {
+	prev := 0.0
+	for r := 1; r <= 50; r++ {
+		pf := PFGnutella(r, 10000, 500)
+		if pf < prev {
+			t.Fatalf("PF not monotone in replicas at r=%d", r)
+		}
+		prev = pf
+	}
+	prev = 0.0
+	for h := 1; h <= 5000; h += 100 {
+		pf := PFGnutella(3, 10000, h)
+		if pf < prev {
+			t.Fatalf("PF not monotone in horizon at h=%d", h)
+		}
+		prev = pf
+	}
+}
+
+// pfProduct is Equation (2) evaluated literally, term by term, as written
+// in the paper — the reference for the log-gamma closed form.
+func pfProduct(r, n, horizon int) float64 {
+	miss := 1.0
+	for j := 0; j < horizon; j++ {
+		p := 1 - float64(r)/float64(n-j)
+		if p <= 0 {
+			return 1
+		}
+		miss *= p
+	}
+	return 1 - miss
+}
+
+func TestPFGnutellaMatchesLiteralProduct(t *testing.T) {
+	for _, tc := range []struct{ r, n, h int }{
+		{1, 100, 10}, {3, 100, 10}, {5, 1000, 250}, {17, 5000, 1500},
+		{1, 75129, 3756}, {2, 75129, 11269}, {40, 500, 499},
+	} {
+		got := PFGnutella(tc.r, tc.n, tc.h)
+		want := pfProduct(tc.r, tc.n, tc.h)
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("PF(%d,%d,%d) = %.12f, product form = %.12f", tc.r, tc.n, tc.h, got, want)
+		}
+	}
+}
+
+func TestPFGnutellaBounds(t *testing.T) {
+	prop := func(r, n, h uint16) bool {
+		nn := int(n%5000) + 10
+		rr := int(r) % nn
+		hh := int(h) % nn
+		pf := PFGnutella(rr, nn, hh)
+		return pf >= 0 && pf <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPFHybrid(t *testing.T) {
+	if got := PFHybrid(0.3, 1); got != 1 {
+		t.Errorf("published item PF = %v, want 1", got)
+	}
+	if got := PFHybrid(0.3, 0); got != 0.3 {
+		t.Errorf("unpublished item PF = %v, want 0.3", got)
+	}
+	if got := PFHybrid(0.5, 0.5); got != 0.75 {
+		t.Errorf("PFHybrid(0.5,0.5) = %v", got)
+	}
+}
+
+func TestPFThresholdDiminishingReturns(t *testing.T) {
+	// Figure 9's shape: increasing in threshold, with shrinking increments.
+	const n = 75129
+	h := n * 15 / 100
+	prev, prevGain := 0.0, math.Inf(1)
+	for thr := 0; thr <= 20; thr++ {
+		pf := PFThreshold(thr, n, h)
+		if pf <= prev && thr > 0 {
+			t.Fatalf("PFThreshold not increasing at %d", thr)
+		}
+		gain := pf - prev
+		if thr > 1 && gain > prevGain+1e-12 {
+			t.Fatalf("gain grew at threshold %d: %v > %v", thr, gain, prevGain)
+		}
+		prev, prevGain = pf, gain
+	}
+}
+
+func TestCostsEquations(t *testing.T) {
+	c := Costs{N: 10000, Horizon: 500, QueryFreq: 2, Lifetime: 100, PublishCost: 40}
+	dht := DHTSearchCost(c.N)
+	// Eq 3: fully findable in Gnutella -> no DHT term.
+	if got := c.SearchCost(1, dht); got != 2*499 {
+		t.Errorf("SearchCost(pf=1) = %v, want 998", got)
+	}
+	// Never findable -> full DHT term.
+	want := 2 * (499 + dht)
+	if got := c.SearchCost(0, dht); math.Abs(got-want) > 1e-9 {
+		t.Errorf("SearchCost(pf=0) = %v, want %v", got, want)
+	}
+	// Eq 4: publishing adds amortised cost only if published.
+	if got := c.TotalCost(0.5, 0, dht); got != c.SearchCost(0.5, dht) {
+		t.Errorf("unpublished TotalCost = %v", got)
+	}
+	diff := c.TotalCost(0.5, 1, dht) - c.SearchCost(0.5, dht)
+	if math.Abs(diff-40.0/100) > 1e-9 {
+		t.Errorf("publish amortisation = %v, want 0.4", diff)
+	}
+}
+
+func TestDHTSearchCost(t *testing.T) {
+	if got := DHTSearchCost(1024); got != 10 {
+		t.Errorf("DHTSearchCost(1024) = %v", got)
+	}
+	if got := DHTSearchCost(1); got != 1 {
+		t.Errorf("DHTSearchCost(1) = %v", got)
+	}
+}
+
+func TestTotalPublishCost(t *testing.T) {
+	got := TotalPublishCost([]bool{true, false, true}, []float64{10, 20, 30})
+	if got != 40 {
+		t.Errorf("TotalPublishCost = %v, want 40", got)
+	}
+}
+
+func TestPublishedInstanceFrac(t *testing.T) {
+	replicas := []int{10, 1, 1, 8}
+	published := []bool{false, true, true, false}
+	got := PublishedInstanceFrac(replicas, published)
+	if got != 0.1 {
+		t.Errorf("frac = %v, want 0.1", got)
+	}
+	if PublishedInstanceFrac(nil, nil) != 0 {
+		t.Error("empty input should be 0")
+	}
+}
+
+func TestPublishUpToThreshold(t *testing.T) {
+	pub := PublishUpToThreshold([]int{5, 2, 1, 3}, 2)
+	want := []bool{false, true, true, false}
+	for i := range want {
+		if pub[i] != want[i] {
+			t.Fatalf("threshold publish = %v", pub)
+		}
+	}
+}
+
+func TestAvgQueryRecallAnchors(t *testing.T) {
+	// Nothing published -> QR equals the horizon percentage (§6.2).
+	resultSets := [][]int{{0, 1}, {2}, {1, 3}}
+	replicas := []int{10, 1, 4, 2}
+	none := make([]bool, 4)
+	got := AvgQueryRecall(resultSets, replicas, none, 0.15)
+	if math.Abs(got-15) > 1e-9 {
+		t.Errorf("QR with nothing published = %v, want 15", got)
+	}
+	// Everything published -> 100%.
+	all := []bool{true, true, true, true}
+	if got := AvgQueryRecall(resultSets, replicas, all, 0.15); math.Abs(got-100) > 1e-9 {
+		t.Errorf("QR with all published = %v", got)
+	}
+	// Empty result sets are skipped, not counted as zero.
+	withEmpty := [][]int{{}, {0}}
+	pub := []bool{true, false, false, false}
+	if got := AvgQueryRecall(withEmpty, replicas, pub, 0.15); math.Abs(got-100) > 1e-9 {
+		t.Errorf("QR skipping empty sets = %v", got)
+	}
+}
+
+func TestAvgQueryRecallWeightsByReplicas(t *testing.T) {
+	// One query matching a popular (9 copies) and a rare (1 copy) item;
+	// publishing the rare item adds its single copy: QR = (1+9h)/10.
+	resultSets := [][]int{{0, 1}}
+	replicas := []int{9, 1}
+	pub := []bool{false, true}
+	h := 0.05
+	want := 100 * (1 + 9*h) / 10
+	if got := AvgQueryRecall(resultSets, replicas, pub, h); math.Abs(got-want) > 1e-9 {
+		t.Errorf("QR = %v, want %v", got, want)
+	}
+}
+
+func TestAvgQueryDistinctRecall(t *testing.T) {
+	resultSets := [][]int{{0, 1}}
+	replicas := []int{1, 1}
+	n, horizon := 1000, 100
+	// Neither published: each found with PF = 0.1 -> QDR 10%.
+	none := []bool{false, false}
+	if got := AvgQueryDistinctRecall(resultSets, replicas, none, n, horizon); math.Abs(got-10) > 1e-6 {
+		t.Errorf("QDR = %v, want 10", got)
+	}
+	// One published: (1 + 0.1)/2 = 55%.
+	one := []bool{true, false}
+	if got := AvgQueryDistinctRecall(resultSets, replicas, one, n, horizon); math.Abs(got-55) > 1e-6 {
+		t.Errorf("QDR = %v, want 55", got)
+	}
+}
+
+func TestRecallMonotoneInPublishing(t *testing.T) {
+	// Publishing more items never lowers either recall metric.
+	resultSets := [][]int{{0, 1, 2}, {1, 3}, {2, 3}}
+	replicas := []int{7, 1, 2, 1}
+	base := []bool{false, true, false, false}
+	more := []bool{false, true, true, false}
+	if AvgQueryRecall(resultSets, replicas, more, 0.05) < AvgQueryRecall(resultSets, replicas, base, 0.05) {
+		t.Error("QR decreased when publishing more")
+	}
+	if AvgQueryDistinctRecall(resultSets, replicas, more, 1000, 50) < AvgQueryDistinctRecall(resultSets, replicas, base, 1000, 50) {
+		t.Error("QDR decreased when publishing more")
+	}
+}

@@ -1,0 +1,148 @@
+package pier
+
+// Aggregation operators. PIER is a general relational engine — the paper's
+// companion work runs aggregates over DHT-scanned tables — so the local
+// operator set includes grouped aggregation alongside selection,
+// projection and joins.
+
+// AggKind enumerates the supported aggregate functions.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+// String names the aggregate.
+func (k AggKind) String() string {
+	switch k {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	default:
+		return "invalid"
+	}
+}
+
+// AggSpec is one aggregate column: the function and the input column
+// position (ignored for COUNT).
+type AggSpec struct {
+	Kind AggKind
+	Col  int
+}
+
+type aggState struct {
+	count int64
+	sum   int64
+	min   int64
+	max   int64
+	seen  bool
+}
+
+func (a *aggState) update(v Value) {
+	a.count++
+	n := v.Num()
+	a.sum += n
+	if !a.seen || n < a.min {
+		a.min = n
+	}
+	if !a.seen || n > a.max {
+		a.max = n
+	}
+	a.seen = true
+}
+
+func (a *aggState) result(kind AggKind) Value {
+	switch kind {
+	case AggCount:
+		return Int(a.count)
+	case AggSum:
+		return Int(a.sum)
+	case AggMin:
+		return Int(a.min)
+	case AggMax:
+		return Int(a.max)
+	}
+	return Int(0)
+}
+
+// GroupBy materialises the input, groups by the given key columns and
+// computes the aggregates per group. Output tuples are the group key
+// columns followed by one column per AggSpec, in deterministic order
+// (sorted by group key).
+func GroupBy(in Iterator, keyCols []int, aggs []AggSpec) Iterator {
+	type group struct {
+		key    Tuple
+		states []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for {
+		t, ok := in.Next()
+		if !ok {
+			break
+		}
+		keyStr := ""
+		for _, c := range keyCols {
+			keyStr += t[c].Key() + "\x00"
+		}
+		g, ok := groups[keyStr]
+		if !ok {
+			key := make(Tuple, len(keyCols))
+			for i, c := range keyCols {
+				key[i] = t[c]
+			}
+			g = &group{key: key, states: make([]aggState, len(aggs))}
+			groups[keyStr] = g
+			order = append(order, keyStr)
+		}
+		for i, spec := range aggs {
+			if spec.Kind == AggCount {
+				g.states[i].count++
+				continue
+			}
+			g.states[i].update(t[spec.Col])
+		}
+	}
+	sortStrings(order)
+	out := make([]Tuple, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		row := make(Tuple, 0, len(g.key)+len(aggs))
+		row = append(row, g.key...)
+		for i, spec := range aggs {
+			row = append(row, g.states[i].result(spec.Kind))
+		}
+		out = append(out, row)
+	}
+	return NewSliceIter(out)
+}
+
+// CountAll drains the iterator and returns the tuple count.
+func CountAll(in Iterator) int64 {
+	n := int64(0)
+	for {
+		if _, ok := in.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}
+
+// sortStrings is an insertion sort; group counts are small and this keeps
+// the operator free of sort-package closure allocations.
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

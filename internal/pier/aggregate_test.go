@@ -1,0 +1,122 @@
+package pier
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func salesRows() []Tuple {
+	return []Tuple{
+		{String("east"), Int(10)},
+		{String("west"), Int(5)},
+		{String("east"), Int(30)},
+		{String("west"), Int(7)},
+		{String("east"), Int(2)},
+	}
+}
+
+func TestGroupByCountSum(t *testing.T) {
+	out := Collect(GroupBy(NewSliceIter(salesRows()), []int{0},
+		[]AggSpec{{Kind: AggCount}, {Kind: AggSum, Col: 1}}))
+	if len(out) != 2 {
+		t.Fatalf("groups = %d", len(out))
+	}
+	// Deterministic order: sorted by group key ("east" < "west").
+	east, west := out[0], out[1]
+	if east[0].Text() != "east" || east[1].Num() != 3 || east[2].Num() != 42 {
+		t.Errorf("east = %v", east)
+	}
+	if west[0].Text() != "west" || west[1].Num() != 2 || west[2].Num() != 12 {
+		t.Errorf("west = %v", west)
+	}
+}
+
+func TestGroupByMinMax(t *testing.T) {
+	out := Collect(GroupBy(NewSliceIter(salesRows()), []int{0},
+		[]AggSpec{{Kind: AggMin, Col: 1}, {Kind: AggMax, Col: 1}}))
+	east := out[0]
+	if east[1].Num() != 2 || east[2].Num() != 30 {
+		t.Errorf("east min/max = %v", east)
+	}
+}
+
+func TestGroupByNegativeValues(t *testing.T) {
+	rows := []Tuple{{String("g"), Int(-5)}, {String("g"), Int(-1)}}
+	out := Collect(GroupBy(NewSliceIter(rows), []int{0},
+		[]AggSpec{{Kind: AggMin, Col: 1}, {Kind: AggMax, Col: 1}, {Kind: AggSum, Col: 1}}))
+	if out[0][1].Num() != -5 || out[0][2].Num() != -1 || out[0][3].Num() != -6 {
+		t.Errorf("negative aggregates = %v", out[0])
+	}
+}
+
+func TestGroupByEmptyInput(t *testing.T) {
+	out := Collect(GroupBy(NewSliceIter(nil), []int{0}, []AggSpec{{Kind: AggCount}}))
+	if len(out) != 0 {
+		t.Errorf("empty input produced %d groups", len(out))
+	}
+}
+
+func TestGroupByNoKeyGlobalAggregate(t *testing.T) {
+	out := Collect(GroupBy(NewSliceIter(salesRows()), nil,
+		[]AggSpec{{Kind: AggCount}, {Kind: AggSum, Col: 1}}))
+	if len(out) != 1 || out[0][0].Num() != 5 || out[0][1].Num() != 54 {
+		t.Errorf("global aggregate = %v", out)
+	}
+}
+
+func TestGroupByCompositeKey(t *testing.T) {
+	rows := []Tuple{
+		{String("a"), Int(1), Int(10)},
+		{String("a"), Int(2), Int(20)},
+		{String("a"), Int(1), Int(30)},
+	}
+	out := Collect(GroupBy(NewSliceIter(rows), []int{0, 1}, []AggSpec{{Kind: AggSum, Col: 2}}))
+	if len(out) != 2 {
+		t.Fatalf("composite groups = %d", len(out))
+	}
+	if out[0][2].Num() != 40 || out[1][2].Num() != 20 {
+		t.Errorf("composite sums = %v / %v", out[0], out[1])
+	}
+}
+
+func TestCountAll(t *testing.T) {
+	if n := CountAll(NewSliceIter(salesRows())); n != 5 {
+		t.Errorf("CountAll = %d", n)
+	}
+	if n := CountAll(NewSliceIter(nil)); n != 0 {
+		t.Errorf("CountAll(empty) = %d", n)
+	}
+}
+
+func TestGroupByMatchesNaive(t *testing.T) {
+	// Property: grouped SUM equals a naive map-based computation.
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 30; trial++ {
+		var rows []Tuple
+		naive := map[string]int64{}
+		for i := 0; i < rng.Intn(200); i++ {
+			g := string(rune('a' + rng.Intn(5)))
+			v := int64(rng.Intn(100) - 50)
+			rows = append(rows, Tuple{String(g), Int(v)})
+			naive[g] += v
+		}
+		out := Collect(GroupBy(NewSliceIter(rows), []int{0}, []AggSpec{{Kind: AggSum, Col: 1}}))
+		if len(out) != len(naive) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(out), len(naive))
+		}
+		for _, row := range out {
+			if row[1].Num() != naive[row[0].Text()] {
+				t.Fatalf("trial %d: group %q sum %d, want %d", trial, row[0].Text(), row[1].Num(), naive[row[0].Text()])
+			}
+		}
+	}
+}
+
+func TestAggKindString(t *testing.T) {
+	names := map[AggKind]string{AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max", AggKind(99): "invalid"}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("%d.String() = %s", k, k.String())
+		}
+	}
+}

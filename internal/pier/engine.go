@@ -1,0 +1,536 @@
+package pier
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"piersearch/internal/dht"
+)
+
+// App-handler dispatch keys on the DHT's application channel.
+const (
+	appChain  = "pier.chain"  // distributed SHJ chain step
+	appCount  = "pier.count"  // posting-list cardinality probe
+	appCache  = "pier.cache"  // InvertedCache single-site plan
+	appResult = "pier.result" // final results streamed back to the origin
+)
+
+// OpStats describes the cost of one distributed operation as observed at
+// the origin, plus chain-internal counters carried back in the result
+// message. PostingShipped counts posting-list entries rehashed between
+// nodes — the quantity §5 of the paper compares across query classes.
+type OpStats struct {
+	Messages       int
+	Bytes          int
+	Hops           int
+	PostingShipped int
+}
+
+func (s *OpStats) addLookup(l dht.LookupStats) {
+	s.Messages += l.Messages
+	s.Bytes += l.Bytes
+	s.Hops += l.Hops
+}
+
+// chainMsg is the plan+stream message forwarded along the keyword chain.
+// The first recipient scans its posting list; each subsequent recipient
+// symmetric-hash-joins the incoming candidate stream with its local list.
+type chainMsg struct {
+	QID        uint64
+	Table      string
+	JoinCol    string
+	Keys       []Value // index-key value per step, in execution order
+	Step       int
+	Candidates []Value // join-column values surviving so far
+	Origin     dht.NodeInfo
+	Shipped    int // posting entries shipped so far
+	Hops       int
+}
+
+// resultMsg carries final join results directly back to the origin node.
+type resultMsg struct {
+	QID     uint64
+	Values  []Value
+	Shipped int
+	Hops    int
+	Err     string
+}
+
+// countMsg asks a key owner for its local posting-list size.
+type countMsg struct {
+	Table string
+	Key   Value
+}
+
+// cacheMsg executes the InvertedCache plan at the owner of Key: scan the
+// local list, keep tuples whose TextCol contains every Filter substring.
+type cacheMsg struct {
+	Table   string
+	Key     Value
+	TextCol string
+	Filters []string
+	Limit   int
+}
+
+// cacheReply returns the matching tuples in wire form.
+type cacheReply struct {
+	Tuples [][]byte
+	Err    string
+}
+
+func init() {
+	gob.Register(chainMsg{})
+	gob.Register(resultMsg{})
+	gob.Register(countMsg{})
+	gob.Register(cacheMsg{})
+	gob.Register(cacheReply{})
+}
+
+// encode gob-encodes v. Like the paper's PIER, message framing is
+// self-describing (gob plays the role Java serialization did), and that
+// overhead shows up in the measured publishing bytes exactly as §7 notes.
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic(fmt.Sprintf("pier: gob encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+func decode[T any](data []byte) (T, error) {
+	var v T
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v)
+	return v, err
+}
+
+// Config holds engine parameters.
+type Config struct {
+	// ChainTimeout bounds how long a distributed join waits for its result
+	// message. Zero means 30 seconds.
+	ChainTimeout time.Duration
+	// OrderBySelectivity makes multi-key joins probe posting-list sizes
+	// first and execute smallest-first (§5's "optimized to compute smaller
+	// posting lists first"). Disable for the ablation benchmark.
+	OrderBySelectivity bool
+}
+
+func (c Config) normalize() Config {
+	if c.ChainTimeout <= 0 {
+		c.ChainTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Engine is PIER on one node: schema registry, tuple publishing, local
+// scans, and distributed join execution. All methods are safe for
+// concurrent use.
+type Engine struct {
+	node *dht.Node
+	cfg  Config
+
+	mu      sync.Mutex
+	schemas map[string]*Schema
+	waiters map[uint64]chan resultMsg
+	nextQID atomic.Uint64
+}
+
+// NewEngine creates an engine bound to node and installs its app handlers.
+func NewEngine(node *dht.Node, cfg Config) *Engine {
+	e := &Engine{
+		node:    node,
+		cfg:     cfg.normalize(),
+		schemas: make(map[string]*Schema),
+		waiters: make(map[uint64]chan resultMsg),
+	}
+	node.RegisterApp(appChain, e.handleChain)
+	node.RegisterApp(appCount, e.handleCount)
+	node.RegisterApp(appCache, e.handleCache)
+	node.RegisterApp(appResult, e.handleResult)
+	return e
+}
+
+// Node returns the underlying DHT node.
+func (e *Engine) Node() *dht.Node { return e.node }
+
+// Register adds a schema to the engine's catalog. Every node that stores
+// or queries a table must register the same schema.
+func (e *Engine) Register(s *Schema) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.schemas[s.Name] = s
+}
+
+// Schema returns the registered schema for table, if any.
+func (e *Engine) Schema(table string) (*Schema, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s, ok := e.schemas[table]
+	return s, ok
+}
+
+// Publish validates t against the table's schema and stores its wire form
+// in the DHT under the tuple's index key. It returns the traffic cost.
+func (e *Engine) Publish(table string, t Tuple) (dht.LookupStats, error) {
+	sch, ok := e.Schema(table)
+	if !ok {
+		return dht.LookupStats{}, fmt.Errorf("pier: unknown table %s", table)
+	}
+	if err := sch.Validate(t); err != nil {
+		return dht.LookupStats{}, err
+	}
+	key, err := sch.IndexKey(t)
+	if err != nil {
+		return dht.LookupStats{}, err
+	}
+	return e.node.Put(table, key, t.Encode(nil))
+}
+
+// decodeValues parses a list of stored values into tuples.
+func decodeValues(values []dht.StoredValue) ([]Tuple, error) {
+	out := make([]Tuple, 0, len(values))
+	for _, v := range values {
+		t, _, err := DecodeTuple(v.Data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// LocalScan returns the tuples of table stored on this node under key,
+// without any network traffic.
+func (e *Engine) LocalScan(table string, key Value) ([]Tuple, error) {
+	return decodeValues(e.node.LocalGet(keyID(table, key)))
+}
+
+// Fetch retrieves the tuples of table stored in the DHT under key.
+func (e *Engine) Fetch(table string, key Value) ([]Tuple, dht.LookupStats, error) {
+	values, stats, err := e.node.GetID(keyID(table, key))
+	if err != nil {
+		return nil, stats, err
+	}
+	tuples, err := decodeValues(values)
+	return tuples, stats, err
+}
+
+// Count asks the owner of (table, key) for its local posting-list size.
+func (e *Engine) Count(table string, key Value) (int, dht.LookupStats, error) {
+	reply, stats, err := e.node.Send(keyID(table, key), appCount, encode(countMsg{Table: table, Key: key}))
+	if err != nil {
+		return 0, stats, err
+	}
+	n, err := decode[int](reply)
+	return n, stats, err
+}
+
+func (e *Engine) handleCount(_ dht.NodeInfo, data []byte) []byte {
+	msg, err := decode[countMsg](data)
+	if err != nil {
+		return encode(0)
+	}
+	tuples, err := e.LocalScan(msg.Table, msg.Key)
+	if err != nil {
+		return encode(0)
+	}
+	return encode(len(tuples))
+}
+
+// ChainJoin executes the paper's Figure 2 plan: an equality lookup of each
+// key in order, joined on joinCol by a chain of symmetric hash joins across
+// the owning nodes, with the surviving joinCol values streamed back to this
+// node. keys are index-key values for table (e.g. keywords for Inverted).
+func (e *Engine) ChainJoin(table string, keys []Value, joinCol string, limit int) ([]Value, OpStats, error) {
+	var stats OpStats
+	if len(keys) == 0 {
+		return nil, stats, fmt.Errorf("pier: chain join needs at least one key")
+	}
+	sch, ok := e.Schema(table)
+	if !ok {
+		return nil, stats, fmt.Errorf("pier: unknown table %s", table)
+	}
+	if sch.ColIndex(joinCol) < 0 {
+		return nil, stats, fmt.Errorf("pier: table %s has no column %s", table, joinCol)
+	}
+
+	if e.cfg.OrderBySelectivity && len(keys) > 1 {
+		keys = e.orderBySelectivity(table, keys, &stats)
+	}
+
+	qid := e.nextQID.Add(1)
+	ch := make(chan resultMsg, 1)
+	e.mu.Lock()
+	e.waiters[qid] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.waiters, qid)
+		e.mu.Unlock()
+	}()
+
+	msg := chainMsg{
+		QID:     qid,
+		Table:   table,
+		JoinCol: joinCol,
+		Keys:    keys,
+		Origin:  e.node.Info(),
+	}
+	_, ls, err := e.node.Send(keyID(table, keys[0]), appChain, encode(msg))
+	stats.addLookup(ls)
+	if err != nil {
+		return nil, stats, fmt.Errorf("pier: chain dispatch: %w", err)
+	}
+
+	select {
+	case res := <-ch:
+		stats.PostingShipped = res.Shipped
+		stats.Hops += res.Hops
+		if res.Err != "" {
+			return nil, stats, fmt.Errorf("pier: chain join: %s", res.Err)
+		}
+		values := res.Values
+		if limit > 0 && len(values) > limit {
+			values = values[:limit]
+		}
+		return values, stats, nil
+	case <-time.After(e.cfg.ChainTimeout):
+		return nil, stats, fmt.Errorf("pier: chain join %d timed out after %v", qid, e.cfg.ChainTimeout)
+	}
+}
+
+// orderBySelectivity probes each key's posting-list size and returns keys
+// sorted ascending, so the chain starts with the smallest list.
+func (e *Engine) orderBySelectivity(table string, keys []Value, stats *OpStats) []Value {
+	type sized struct {
+		key Value
+		n   int
+	}
+	sizedKeys := make([]sized, len(keys))
+	for i, k := range keys {
+		n, ls, err := e.Count(table, k)
+		stats.addLookup(ls)
+		if err != nil {
+			n = 1 << 30 // unknown: probe it last
+		}
+		sizedKeys[i] = sized{k, n}
+	}
+	sort.SliceStable(sizedKeys, func(i, j int) bool { return sizedKeys[i].n < sizedKeys[j].n })
+	out := make([]Value, len(keys))
+	for i, s := range sizedKeys {
+		out[i] = s.key
+	}
+	return out
+}
+
+func keyID(table string, key Value) dht.ID { return dht.NamespacedID(table, key.Key()) }
+
+// handleChain runs one step of the distributed join at a keyword owner.
+func (e *Engine) handleChain(_ dht.NodeInfo, data []byte) []byte {
+	msg, err := decode[chainMsg](data)
+	if err != nil {
+		return encode("bad chain message")
+	}
+	e.runChainStep(msg)
+	return encode("ok")
+}
+
+func (e *Engine) runChainStep(msg chainMsg) {
+	fail := func(err error) {
+		e.sendResult(msg.Origin, resultMsg{QID: msg.QID, Err: err.Error(), Shipped: msg.Shipped, Hops: msg.Hops})
+	}
+	sch, ok := e.Schema(msg.Table)
+	if !ok {
+		fail(fmt.Errorf("node %s does not know table %s", e.node.Info().ID.Short(), msg.Table))
+		return
+	}
+	joinIdx := sch.ColIndex(msg.JoinCol)
+	local, err := e.LocalScan(msg.Table, msg.Keys[msg.Step])
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// Symmetric hash join between the incoming candidate stream and the
+	// local posting list. On step 0 there is no incoming stream: the local
+	// list itself seeds the candidates.
+	var survivors []Value
+	if msg.Step == 0 {
+		seen := map[string]bool{}
+		for _, t := range local {
+			v := t[joinIdx]
+			if k := v.Key(); !seen[k] {
+				seen[k] = true
+				survivors = append(survivors, v)
+			}
+		}
+	} else {
+		join := NewSymmetricHashJoin(0, joinIdx)
+		for _, t := range local {
+			join.InsertRight(t)
+		}
+		seen := map[string]bool{}
+		for _, v := range msg.Candidates {
+			for range join.InsertLeft(Tuple{v}) {
+				if k := v.Key(); !seen[k] {
+					seen[k] = true
+					survivors = append(survivors, v)
+				}
+			}
+		}
+	}
+
+	last := msg.Step == len(msg.Keys)-1
+	if last || len(survivors) == 0 {
+		e.sendResult(msg.Origin, resultMsg{
+			QID:     msg.QID,
+			Values:  survivors,
+			Shipped: msg.Shipped,
+			Hops:    msg.Hops + 1,
+		})
+		return
+	}
+
+	next := msg
+	next.Step++
+	next.Candidates = survivors
+	next.Shipped += len(survivors)
+	next.Hops++
+	if _, _, err := e.node.Send(keyID(msg.Table, msg.Keys[next.Step]), appChain, encode(next)); err != nil {
+		fail(fmt.Errorf("forward to step %d: %w", next.Step, err))
+	}
+}
+
+// sendResult delivers a resultMsg to the origin node (possibly ourselves).
+func (e *Engine) sendResult(origin dht.NodeInfo, res resultMsg) {
+	if origin.ID == e.node.Info().ID {
+		e.handleResult(origin, encode(res))
+		return
+	}
+	e.node.SendTo(origin, appResult, encode(res)) //nolint:errcheck // origin death ends the query via timeout
+}
+
+func (e *Engine) handleResult(_ dht.NodeInfo, data []byte) []byte {
+	res, err := decode[resultMsg](data)
+	if err != nil {
+		return nil
+	}
+	e.mu.Lock()
+	ch := e.waiters[res.QID]
+	e.mu.Unlock()
+	if ch != nil {
+		select {
+		case ch <- res:
+		default: // duplicate result; first one wins
+		}
+	}
+	return nil
+}
+
+// CacheSelect executes the paper's Figure 3 plan: the whole query is sent
+// to the single owner of key, which scans its local list and filters by
+// substring containment of every filter in textCol. No posting lists are
+// shipped; the reply carries only matching tuples.
+func (e *Engine) CacheSelect(table string, key Value, filters []string, textCol string, limit int) ([]Tuple, OpStats, error) {
+	var stats OpStats
+	sch, ok := e.Schema(table)
+	if !ok {
+		return nil, stats, fmt.Errorf("pier: unknown table %s", table)
+	}
+	if sch.ColIndex(textCol) < 0 {
+		return nil, stats, fmt.Errorf("pier: table %s has no column %s", table, textCol)
+	}
+	msg := cacheMsg{Table: table, Key: key, TextCol: textCol, Filters: filters, Limit: limit}
+	reply, ls, err := e.node.Send(keyID(table, key), appCache, encode(msg))
+	stats.addLookup(ls)
+	if err != nil {
+		return nil, stats, err
+	}
+	cr, err := decode[cacheReply](reply)
+	if err != nil {
+		return nil, stats, err
+	}
+	if cr.Err != "" {
+		return nil, stats, fmt.Errorf("pier: cache select: %s", cr.Err)
+	}
+	tuples := make([]Tuple, 0, len(cr.Tuples))
+	for _, raw := range cr.Tuples {
+		t, _, err := DecodeTuple(raw)
+		if err != nil {
+			return nil, stats, err
+		}
+		tuples = append(tuples, t)
+	}
+	return tuples, stats, nil
+}
+
+func (e *Engine) handleCache(_ dht.NodeInfo, data []byte) []byte {
+	msg, err := decode[cacheMsg](data)
+	if err != nil {
+		return encode(cacheReply{Err: "bad cache message"})
+	}
+	sch, ok := e.Schema(msg.Table)
+	if !ok {
+		return encode(cacheReply{Err: "unknown table " + msg.Table})
+	}
+	textIdx := sch.ColIndex(msg.TextCol)
+	if textIdx < 0 {
+		return encode(cacheReply{Err: "no column " + msg.TextCol})
+	}
+	local, err := e.LocalScan(msg.Table, msg.Key)
+	if err != nil {
+		return encode(cacheReply{Err: err.Error()})
+	}
+	it := Select(NewSliceIter(local), func(t Tuple) bool {
+		text := t[textIdx].Text()
+		for _, f := range msg.Filters {
+			if !containsFold(text, f) {
+				return false
+			}
+		}
+		return true
+	})
+	if msg.Limit > 0 {
+		it = Limit(it, msg.Limit)
+	}
+	var reply cacheReply
+	for {
+		t, ok := it.Next()
+		if !ok {
+			break
+		}
+		reply.Tuples = append(reply.Tuples, t.Encode(nil))
+	}
+	return encode(reply)
+}
+
+// containsFold reports whether substr occurs in s, ASCII-case-insensitively,
+// matching the paper's substring selection operators over filenames.
+func containsFold(s, substr string) bool {
+	if len(substr) == 0 {
+		return true
+	}
+	if len(substr) > len(s) {
+		return false
+	}
+	lower := func(b byte) byte {
+		if 'A' <= b && b <= 'Z' {
+			return b + 'a' - 'A'
+		}
+		return b
+	}
+outer:
+	for i := 0; i+len(substr) <= len(s); i++ {
+		for j := 0; j < len(substr); j++ {
+			if lower(s[i+j]) != lower(substr[j]) {
+				continue outer
+			}
+		}
+		return true
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+package pier
+
+// This file implements the local (single-node) relational operators in the
+// standard pull-based iterator style. The distributed engine composes these
+// with DHT routing; they are also usable standalone.
+
+// Iterator produces tuples one at a time. Next returns false when the
+// stream is exhausted.
+type Iterator interface {
+	Next() (Tuple, bool)
+}
+
+// SliceIter iterates over an in-memory tuple slice.
+type SliceIter struct {
+	tuples []Tuple
+	pos    int
+}
+
+// NewSliceIter returns an iterator over tuples.
+func NewSliceIter(tuples []Tuple) *SliceIter { return &SliceIter{tuples: tuples} }
+
+// Next implements Iterator.
+func (s *SliceIter) Next() (Tuple, bool) {
+	if s.pos >= len(s.tuples) {
+		return nil, false
+	}
+	t := s.tuples[s.pos]
+	s.pos++
+	return t, true
+}
+
+// Collect drains an iterator into a slice.
+func Collect(it Iterator) []Tuple {
+	var out []Tuple
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// selectIter filters tuples by a predicate.
+type selectIter struct {
+	in   Iterator
+	pred func(Tuple) bool
+}
+
+// Select returns an iterator yielding only tuples for which pred is true.
+func Select(in Iterator, pred func(Tuple) bool) Iterator {
+	return &selectIter{in: in, pred: pred}
+}
+
+func (s *selectIter) Next() (Tuple, bool) {
+	for {
+		t, ok := s.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if s.pred(t) {
+			return t, true
+		}
+	}
+}
+
+// projectIter keeps a subset of columns, by position.
+type projectIter struct {
+	in   Iterator
+	cols []int
+}
+
+// Project returns an iterator yielding tuples restricted to the given
+// column positions, in the given order.
+func Project(in Iterator, cols ...int) Iterator {
+	return &projectIter{in: in, cols: cols}
+}
+
+func (p *projectIter) Next() (Tuple, bool) {
+	t, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	out := make(Tuple, len(p.cols))
+	for i, c := range p.cols {
+		out[i] = t[c]
+	}
+	return out, true
+}
+
+// limitIter stops after n tuples.
+type limitIter struct {
+	in   Iterator
+	left int
+}
+
+// Limit returns an iterator yielding at most n tuples.
+func Limit(in Iterator, n int) Iterator { return &limitIter{in: in, left: n} }
+
+func (l *limitIter) Next() (Tuple, bool) {
+	if l.left <= 0 {
+		return nil, false
+	}
+	t, ok := l.in.Next()
+	if !ok {
+		return nil, false
+	}
+	l.left--
+	return t, true
+}
+
+// distinctIter suppresses duplicate tuples (by full-tuple key).
+type distinctIter struct {
+	in   Iterator
+	seen map[string]bool
+}
+
+// Distinct returns an iterator yielding each distinct tuple once.
+func Distinct(in Iterator) Iterator {
+	return &distinctIter{in: in, seen: make(map[string]bool)}
+}
+
+func (d *distinctIter) Next() (Tuple, bool) {
+	for {
+		t, ok := d.in.Next()
+		if !ok {
+			return nil, false
+		}
+		key := ""
+		for _, v := range t {
+			key += v.Key() + "\x00"
+		}
+		if !d.seen[key] {
+			d.seen[key] = true
+			return t, true
+		}
+	}
+}
+
+// HashJoin performs a classic build/probe equi-join: the build side is
+// materialised into a hash table, then the probe side streams against it.
+// Output tuples are the concatenation probe ++ build.
+func HashJoin(build, probe Iterator, buildCol, probeCol int) Iterator {
+	table := make(map[string][]Tuple)
+	for {
+		t, ok := build.Next()
+		if !ok {
+			break
+		}
+		k := t[buildCol].Key()
+		table[k] = append(table[k], t)
+	}
+	return &hashJoinIter{table: table, probe: probe, probeCol: probeCol}
+}
+
+type hashJoinIter struct {
+	table    map[string][]Tuple
+	probe    Iterator
+	probeCol int
+	current  Tuple
+	matches  []Tuple
+	matchPos int
+}
+
+func (h *hashJoinIter) Next() (Tuple, bool) {
+	for {
+		if h.matchPos < len(h.matches) {
+			b := h.matches[h.matchPos]
+			h.matchPos++
+			out := make(Tuple, 0, len(h.current)+len(b))
+			out = append(out, h.current...)
+			out = append(out, b...)
+			return out, true
+		}
+		t, ok := h.probe.Next()
+		if !ok {
+			return nil, false
+		}
+		h.current = t
+		h.matches = h.table[t[h.probeCol].Key()]
+		h.matchPos = 0
+	}
+}
+
+// SymmetricHashJoin is the streaming join PIER executes between an incoming
+// rehashed tuple stream and the local posting list: both inputs build hash
+// tables, and each arriving tuple probes the opposite side, so results
+// stream out as soon as both matching tuples have arrived, regardless of
+// input order.
+type SymmetricHashJoin struct {
+	leftCol, rightCol int
+	left              map[string][]Tuple
+	right             map[string][]Tuple
+}
+
+// NewSymmetricHashJoin creates a join on left[leftCol] == right[rightCol].
+func NewSymmetricHashJoin(leftCol, rightCol int) *SymmetricHashJoin {
+	return &SymmetricHashJoin{
+		leftCol:  leftCol,
+		rightCol: rightCol,
+		left:     make(map[string][]Tuple),
+		right:    make(map[string][]Tuple),
+	}
+}
+
+// InsertLeft adds a tuple to the left input and returns the joined outputs
+// (left ++ right) it completes.
+func (j *SymmetricHashJoin) InsertLeft(t Tuple) []Tuple {
+	k := t[j.leftCol].Key()
+	j.left[k] = append(j.left[k], t)
+	var out []Tuple
+	for _, r := range j.right[k] {
+		joined := make(Tuple, 0, len(t)+len(r))
+		joined = append(joined, t...)
+		joined = append(joined, r...)
+		out = append(out, joined)
+	}
+	return out
+}
+
+// InsertRight adds a tuple to the right input and returns the joined
+// outputs (left ++ right) it completes.
+func (j *SymmetricHashJoin) InsertRight(t Tuple) []Tuple {
+	k := t[j.rightCol].Key()
+	j.right[k] = append(j.right[k], t)
+	var out []Tuple
+	for _, l := range j.left[k] {
+		joined := make(Tuple, 0, len(l)+len(t))
+		joined = append(joined, l...)
+		joined = append(joined, t...)
+		out = append(out, joined)
+	}
+	return out
+}
+
+// LeftSize and RightSize report the number of buffered tuples, the state a
+// real system would bound or spill.
+func (j *SymmetricHashJoin) LeftSize() int { return sizeOf(j.left) }
+
+// RightSize reports the buffered right-input tuples.
+func (j *SymmetricHashJoin) RightSize() int { return sizeOf(j.right) }
+
+func sizeOf(m map[string][]Tuple) int {
+	n := 0
+	for _, ts := range m {
+		n += len(ts)
+	}
+	return n
+}

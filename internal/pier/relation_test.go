@@ -1,0 +1,219 @@
+package pier
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func rows(vals ...int64) []Tuple {
+	out := make([]Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = Tuple{Int(v), String(fmt.Sprintf("row-%d", v))}
+	}
+	return out
+}
+
+func TestSliceIterAndCollect(t *testing.T) {
+	in := rows(1, 2, 3)
+	out := Collect(NewSliceIter(in))
+	if len(out) != 3 {
+		t.Fatalf("collected %d rows", len(out))
+	}
+	for i := range in {
+		if !out[i].Equal(in[i]) {
+			t.Errorf("row %d mismatch", i)
+		}
+	}
+	// Exhausted iterator keeps returning false.
+	it := NewSliceIter(rows(1))
+	it.Next()
+	if _, ok := it.Next(); ok {
+		t.Error("exhausted iterator yielded a tuple")
+	}
+	if _, ok := it.Next(); ok {
+		t.Error("iterator revived after exhaustion")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	out := Collect(Select(NewSliceIter(rows(1, 2, 3, 4)), func(tp Tuple) bool {
+		return tp[0].Num()%2 == 0
+	}))
+	if len(out) != 2 || out[0][0].Num() != 2 || out[1][0].Num() != 4 {
+		t.Errorf("Select evens = %v", out)
+	}
+}
+
+func TestProject(t *testing.T) {
+	out := Collect(Project(NewSliceIter(rows(7)), 1, 0))
+	if len(out) != 1 || out[0][0].Text() != "row-7" || out[0][1].Num() != 7 {
+		t.Errorf("Project = %v", out)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	out := Collect(Limit(NewSliceIter(rows(1, 2, 3)), 2))
+	if len(out) != 2 {
+		t.Errorf("Limit(2) yielded %d", len(out))
+	}
+	if out := Collect(Limit(NewSliceIter(rows(1)), 0)); len(out) != 0 {
+		t.Errorf("Limit(0) yielded %d", len(out))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	in := append(rows(1, 2), rows(1, 2, 3)...)
+	out := Collect(Distinct(NewSliceIter(in)))
+	if len(out) != 3 {
+		t.Errorf("Distinct yielded %d rows, want 3", len(out))
+	}
+}
+
+func TestHashJoinBasic(t *testing.T) {
+	left := []Tuple{{Int(1), String("a")}, {Int(2), String("b")}, {Int(2), String("b2")}}
+	right := []Tuple{{String("x"), Int(2)}, {String("y"), Int(3)}}
+	// probe=right on col 1, build=left on col 0 -> matches where right[1]==left[0]
+	out := Collect(HashJoin(NewSliceIter(left), NewSliceIter(right), 0, 1))
+	if len(out) != 2 {
+		t.Fatalf("join yielded %d rows, want 2", len(out))
+	}
+	for _, r := range out {
+		if r[1].Num() != r[2].Num() {
+			t.Errorf("join row violates predicate: %v", r)
+		}
+		if len(r) != 4 {
+			t.Errorf("join row arity %d, want 4", len(r))
+		}
+	}
+}
+
+func TestHashJoinEmptyInputs(t *testing.T) {
+	if out := Collect(HashJoin(NewSliceIter(nil), NewSliceIter(rows(1)), 0, 0)); len(out) != 0 {
+		t.Error("join with empty build produced rows")
+	}
+	if out := Collect(HashJoin(NewSliceIter(rows(1)), NewSliceIter(nil), 0, 0)); len(out) != 0 {
+		t.Error("join with empty probe produced rows")
+	}
+}
+
+func TestSymmetricHashJoinStreamsBothOrders(t *testing.T) {
+	j := NewSymmetricHashJoin(0, 0)
+	if out := j.InsertLeft(Tuple{Int(1)}); len(out) != 0 {
+		t.Error("join fired before match arrived")
+	}
+	out := j.InsertRight(Tuple{Int(1), String("r")})
+	if len(out) != 1 || out[0][0].Num() != 1 || out[0][2].Text() != "r" {
+		t.Errorf("right-completes-left: %v", out)
+	}
+	// Opposite arrival order.
+	out = j.InsertRight(Tuple{Int(2), String("r2")})
+	if len(out) != 0 {
+		t.Error("unmatched right fired")
+	}
+	out = j.InsertLeft(Tuple{Int(2)})
+	if len(out) != 1 || out[0][1].Num() != 2 {
+		t.Errorf("left-completes-right: %v", out)
+	}
+}
+
+func TestSymmetricHashJoinDuplicates(t *testing.T) {
+	j := NewSymmetricHashJoin(0, 0)
+	j.InsertLeft(Tuple{Int(1), String("l1")})
+	j.InsertLeft(Tuple{Int(1), String("l2")})
+	out := j.InsertRight(Tuple{Int(1), String("r")})
+	if len(out) != 2 {
+		t.Errorf("2 left x 1 right = %d rows, want 2", len(out))
+	}
+	if j.LeftSize() != 2 || j.RightSize() != 1 {
+		t.Errorf("sizes = %d/%d, want 2/1", j.LeftSize(), j.RightSize())
+	}
+}
+
+// TestSymmetricEqualsClassicJoin is the core join-correctness property: a
+// symmetric hash join fed tuples in any interleaving produces exactly the
+// rows of a classic build/probe hash join.
+func TestSymmetricEqualsClassicJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		var left, right []Tuple
+		for i := 0; i < rng.Intn(30); i++ {
+			left = append(left, Tuple{Int(int64(rng.Intn(10))), String(fmt.Sprintf("L%d", i))})
+		}
+		for i := 0; i < rng.Intn(30); i++ {
+			right = append(right, Tuple{Int(int64(rng.Intn(10))), String(fmt.Sprintf("R%d", i))})
+		}
+
+		classic := Collect(HashJoin(NewSliceIter(right), NewSliceIter(left), 0, 0))
+		// classic rows are left ++ right (probe ++ build)
+
+		j := NewSymmetricHashJoin(0, 0)
+		var streamed []Tuple
+		li, ri := 0, 0
+		for li < len(left) || ri < len(right) {
+			takeLeft := ri >= len(right) || (li < len(left) && rng.Intn(2) == 0)
+			if takeLeft {
+				streamed = append(streamed, j.InsertLeft(left[li])...)
+				li++
+			} else {
+				streamed = append(streamed, j.InsertRight(right[ri])...)
+				ri++
+			}
+		}
+		if len(streamed) != len(classic) {
+			t.Fatalf("trial %d: symmetric %d rows, classic %d", trial, len(streamed), len(classic))
+		}
+		canon := func(ts []Tuple) []string {
+			out := make([]string, len(ts))
+			for i, tp := range ts {
+				s := ""
+				for _, v := range tp {
+					s += v.Key() + "|"
+				}
+				out[i] = s
+			}
+			sort.Strings(out)
+			return out
+		}
+		a, b := canon(streamed), canon(classic)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("trial %d: row sets differ", trial)
+			}
+		}
+	}
+}
+
+func TestContainsFold(t *testing.T) {
+	cases := []struct {
+		s, sub string
+		want   bool
+	}{
+		{"Madonna - Like a Prayer.mp3", "madonna", true},
+		{"Madonna - Like a Prayer.mp3", "PRAYER", true},
+		{"Madonna - Like a Prayer.mp3", "beatles", false},
+		{"abc", "", true},
+		{"", "x", false},
+		{"short", "longer than s", false},
+		{"xyz", "xyz", true},
+	}
+	for _, c := range cases {
+		if got := containsFold(c.s, c.sub); got != c.want {
+			t.Errorf("containsFold(%q, %q) = %v, want %v", c.s, c.sub, got, c.want)
+		}
+	}
+}
+
+func BenchmarkSymmetricHashJoin(b *testing.B) {
+	j := NewSymmetricHashJoin(0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i % 1000)
+		j.InsertLeft(Tuple{Int(k)})
+		j.InsertRight(Tuple{Int(k)})
+		if i%1000 == 999 {
+			j = NewSymmetricHashJoin(0, 0) // bound state growth
+		}
+	}
+}

@@ -1,0 +1,223 @@
+// Package pier implements a relational query processor over a DHT, after
+// PIER (Huebsch et al., VLDB 2003) as used by the paper's PIERSearch. It
+// provides typed tuples and schemas, local relational operators (selection,
+// projection, hash joins, symmetric hash join), and a distributed execution
+// engine: tuples are published into the DHT under an index key, and
+// multi-way equi-joins execute as a chain of symmetric hash joins across the
+// nodes that own each key, exactly the query plan of the paper's Figure 2.
+// The InvertedCache single-site plan of Figure 3 is provided as well.
+package pier
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Kind is the type tag of a Value.
+type Kind uint8
+
+// Supported value kinds.
+const (
+	KindString Kind = iota
+	KindInt
+	KindBytes
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindBytes:
+		return "bytes"
+	default:
+		return "invalid"
+	}
+}
+
+// Value is one typed field of a tuple. Fields are exported so values can
+// cross process boundaries via encoding/gob, but use the constructors and
+// accessors rather than touching fields directly.
+type Value struct {
+	K Kind
+	S string
+	I int64
+	B []byte
+}
+
+// String constructs a string value.
+func String(s string) Value { return Value{K: KindString, S: s} }
+
+// Int constructs an integer value.
+func Int(i int64) Value { return Value{K: KindInt, I: i} }
+
+// Bytes constructs a byte-string value.
+func Bytes(b []byte) Value { return Value{K: KindBytes, B: b} }
+
+// Kind returns the value's type tag.
+func (v Value) Kind() Kind { return v.K }
+
+// Text returns the string payload (empty for non-string values).
+func (v Value) Text() string { return v.S }
+
+// Num returns the integer payload (zero for non-int values).
+func (v Value) Num() int64 { return v.I }
+
+// Raw returns the byte payload (nil for non-bytes values).
+func (v Value) Raw() []byte { return v.B }
+
+// Equal reports deep equality of kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.K != o.K {
+		return false
+	}
+	switch v.K {
+	case KindString:
+		return v.S == o.S
+	case KindInt:
+		return v.I == o.I
+	case KindBytes:
+		return string(v.B) == string(o.B)
+	}
+	return false
+}
+
+// Key returns a collision-free map key for hash-based operators: the kind
+// byte followed by the payload.
+func (v Value) Key() string {
+	switch v.K {
+	case KindString:
+		return "s" + v.S
+	case KindInt:
+		var buf [9]byte
+		buf[0] = 'i'
+		binary.BigEndian.PutUint64(buf[1:], uint64(v.I))
+		return string(buf[:])
+	case KindBytes:
+		return "b" + string(v.B)
+	}
+	return "?"
+}
+
+// GoString formats the value for debugging.
+func (v Value) GoString() string {
+	switch v.K {
+	case KindString:
+		return fmt.Sprintf("%q", v.S)
+	case KindInt:
+		return fmt.Sprintf("%d", v.I)
+	case KindBytes:
+		return fmt.Sprintf("0x%x", v.B)
+	}
+	return "invalid"
+}
+
+// Tuple is an ordered list of values; column names live in the Schema.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	for i, v := range t {
+		if v.K == KindBytes {
+			b := make([]byte, len(v.B))
+			copy(b, v.B)
+			out[i].B = b
+		}
+	}
+	return out
+}
+
+// Equal reports field-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendUvarint and friends implement the compact tuple wire format:
+//
+//	uvarint(ncols) then per column: kind byte, then
+//	  string/bytes: uvarint(len) payload
+//	  int:          zigzag varint
+
+// Encode appends the tuple's wire form to dst and returns it.
+func (t Tuple) Encode(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = append(dst, byte(v.K))
+		switch v.K {
+		case KindString:
+			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
+			dst = append(dst, v.S...)
+		case KindInt:
+			dst = binary.AppendVarint(dst, v.I)
+		case KindBytes:
+			dst = binary.AppendUvarint(dst, uint64(len(v.B)))
+			dst = append(dst, v.B...)
+		}
+	}
+	return dst
+}
+
+// EncodedSize returns the wire size of the tuple without encoding it.
+func (t Tuple) EncodedSize() int {
+	return len(t.Encode(make([]byte, 0, 64)))
+}
+
+// DecodeTuple parses one tuple from buf, returning the tuple and the number
+// of bytes consumed.
+func DecodeTuple(buf []byte) (Tuple, int, error) {
+	n, used := binary.Uvarint(buf)
+	if used <= 0 {
+		return nil, 0, fmt.Errorf("pier: bad tuple header")
+	}
+	if n > 1<<20 {
+		return nil, 0, fmt.Errorf("pier: unreasonable column count %d", n)
+	}
+	off := used
+	t := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		if off >= len(buf) {
+			return nil, 0, fmt.Errorf("pier: truncated tuple")
+		}
+		kind := Kind(buf[off])
+		off++
+		switch kind {
+		case KindString, KindBytes:
+			l, used := binary.Uvarint(buf[off:])
+			if used <= 0 || off+used+int(l) > len(buf) {
+				return nil, 0, fmt.Errorf("pier: truncated %s column", kind)
+			}
+			off += used
+			payload := buf[off : off+int(l)]
+			off += int(l)
+			if kind == KindString {
+				t = append(t, String(string(payload)))
+			} else {
+				b := make([]byte, len(payload))
+				copy(b, payload)
+				t = append(t, Bytes(b))
+			}
+		case KindInt:
+			v, used := binary.Varint(buf[off:])
+			if used <= 0 {
+				return nil, 0, fmt.Errorf("pier: truncated int column")
+			}
+			off += used
+			t = append(t, Int(v))
+		default:
+			return nil, 0, fmt.Errorf("pier: unknown kind %d", kind)
+		}
+	}
+	return t, off, nil
+}

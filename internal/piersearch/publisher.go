@@ -1,0 +1,107 @@
+package piersearch
+
+import (
+	"fmt"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/pier"
+)
+
+// PublishMode selects the index layout.
+type PublishMode int
+
+// Publish modes.
+const (
+	// ModeInverted publishes Item + Inverted tuples (Figure 2 layout).
+	ModeInverted PublishMode = iota
+	// ModeInvertedCache publishes Item + InvertedCache tuples, caching the
+	// filename on every posting entry (Figure 3 layout). Costs more to
+	// publish, much less to query.
+	ModeInvertedCache
+	// ModeBoth publishes both index layouts, letting queries choose.
+	ModeBoth
+)
+
+// PublishStats reports the cost of publishing one file.
+type PublishStats struct {
+	Tuples   int // tuples generated (1 Item + one per keyword per layout)
+	Keywords int
+	Messages int
+	Bytes    int // total bytes sent publishing, incl. DHT routing
+}
+
+func (s *PublishStats) addLookup(l dht.LookupStats) {
+	s.Messages += l.Messages
+	s.Bytes += l.Bytes
+}
+
+// Publisher turns shared files into PIERSearch tuples and publishes them
+// into the DHT via a PIER engine (§3.1).
+type Publisher struct {
+	engine    *pier.Engine
+	tokenizer Tokenizer
+	mode      PublishMode
+}
+
+// NewPublisher creates a publisher. The engine must have the PIERSearch
+// schemas registered (RegisterSchemas).
+func NewPublisher(engine *pier.Engine, mode PublishMode, tk Tokenizer) *Publisher {
+	return &Publisher{engine: engine, tokenizer: tk, mode: mode}
+}
+
+// Publish indexes one file: an Item tuple under its fileID and one
+// Inverted/InvertedCache tuple per keyword of its filename.
+func (p *Publisher) Publish(f File) (PublishStats, error) {
+	var stats PublishStats
+	keywords := p.tokenizer.Tokenize(f.Name)
+	if len(keywords) == 0 {
+		return stats, fmt.Errorf("piersearch: %q has no indexable keywords", f.Name)
+	}
+	stats.Keywords = len(keywords)
+
+	ls, err := p.engine.Publish(TableItem, f.ItemTuple())
+	stats.addLookup(ls)
+	if err != nil {
+		return stats, fmt.Errorf("piersearch: publish item: %w", err)
+	}
+	stats.Tuples++
+
+	id := f.ID()
+	for _, kw := range keywords {
+		if p.mode == ModeInverted || p.mode == ModeBoth {
+			ls, err := p.engine.Publish(TableInverted, pier.Tuple{pier.String(kw), pier.Bytes(id[:])})
+			stats.addLookup(ls)
+			if err != nil {
+				return stats, fmt.Errorf("piersearch: publish inverted %q: %w", kw, err)
+			}
+			stats.Tuples++
+		}
+		if p.mode == ModeInvertedCache || p.mode == ModeBoth {
+			ls, err := p.engine.Publish(TableInvertedCache,
+				pier.Tuple{pier.String(kw), pier.Bytes(id[:]), pier.String(f.Name)})
+			stats.addLookup(ls)
+			if err != nil {
+				return stats, fmt.Errorf("piersearch: publish cache %q: %w", kw, err)
+			}
+			stats.Tuples++
+		}
+	}
+	return stats, nil
+}
+
+// PublishAll publishes a batch of files, accumulating stats. It stops at
+// the first error, returning the stats accumulated so far.
+func (p *Publisher) PublishAll(files []File) (PublishStats, error) {
+	var total PublishStats
+	for _, f := range files {
+		s, err := p.Publish(f)
+		total.Tuples += s.Tuples
+		total.Keywords += s.Keywords
+		total.Messages += s.Messages
+		total.Bytes += s.Bytes
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

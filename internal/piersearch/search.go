@@ -1,0 +1,151 @@
+package piersearch
+
+import (
+	"fmt"
+	"sort"
+
+	"piersearch/internal/pier"
+)
+
+// Strategy selects the query plan.
+type Strategy int
+
+// Query strategies.
+const (
+	// StrategyJoin executes the distributed symmetric-hash-join chain over
+	// Inverted posting lists (Figure 2).
+	StrategyJoin Strategy = iota
+	// StrategyCache sends the whole query to one keyword owner and filters
+	// by substring over the cached fulltext (Figure 3, InvertedCache).
+	StrategyCache
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == StrategyCache {
+		return "inverted-cache"
+	}
+	return "distributed-join"
+}
+
+// Result is one query answer: a file location.
+type Result struct {
+	File   File
+	FileID FileID
+}
+
+// SearchStats reports the cost of answering one query.
+type SearchStats struct {
+	Strategy       Strategy
+	Keywords       int
+	Matches        int // fileIDs matched before Item fetch
+	Messages       int
+	Bytes          int
+	Hops           int
+	PostingShipped int
+	// MatchBytes is the traffic of the fileID-matching phase alone,
+	// excluding the final Item fetches — the quantity §7 compares between
+	// the InvertedCache (~850 B) and distributed-join (~20 KB) plans.
+	MatchBytes int
+}
+
+// Search answers conjunctive keyword queries against the PIERSearch index.
+type Search struct {
+	engine    *pier.Engine
+	tokenizer Tokenizer
+}
+
+// NewSearch creates a search engine. The PIER engine must have the
+// PIERSearch schemas registered.
+func NewSearch(engine *pier.Engine, tk Tokenizer) *Search {
+	return &Search{engine: engine, tokenizer: tk}
+}
+
+// Query answers query with the given strategy, returning up to limit
+// results (0 = unlimited). Results are sorted by filename then host for
+// deterministic output.
+func (s *Search) Query(query string, strategy Strategy, limit int) ([]Result, SearchStats, error) {
+	stats := SearchStats{Strategy: strategy}
+	keywords := s.tokenizer.Tokenize(query)
+	if len(keywords) == 0 {
+		return nil, stats, fmt.Errorf("piersearch: query %q has no indexable keywords", query)
+	}
+	stats.Keywords = len(keywords)
+
+	var fileIDs []pier.Value
+	switch strategy {
+	case StrategyJoin:
+		keys := make([]pier.Value, len(keywords))
+		for i, kw := range keywords {
+			keys[i] = pier.String(kw)
+		}
+		values, op, err := s.engine.ChainJoin(TableInverted, keys, "fileID", limit)
+		stats.Messages += op.Messages
+		stats.Bytes += op.Bytes
+		stats.MatchBytes += op.Bytes
+		stats.Hops += op.Hops
+		stats.PostingShipped += op.PostingShipped
+		if err != nil {
+			return nil, stats, err
+		}
+		fileIDs = values
+
+	case StrategyCache:
+		filters := make([]string, 0, len(keywords)-1)
+		for _, kw := range keywords[1:] {
+			filters = append(filters, kw)
+		}
+		tuples, op, err := s.engine.CacheSelect(TableInvertedCache, pier.String(keywords[0]), filters, "fulltext", limit)
+		stats.Messages += op.Messages
+		stats.Bytes += op.Bytes
+		stats.MatchBytes += op.Bytes
+		stats.Hops += op.Hops
+		if err != nil {
+			return nil, stats, err
+		}
+		seen := map[string]bool{}
+		for _, t := range tuples {
+			id := t[1]
+			if k := id.Key(); !seen[k] {
+				seen[k] = true
+				fileIDs = append(fileIDs, id)
+			}
+		}
+
+	default:
+		return nil, stats, fmt.Errorf("piersearch: unknown strategy %d", strategy)
+	}
+	stats.Matches = len(fileIDs)
+
+	// Final stage of both plans: fetch the Item tuples by fileID.
+	var results []Result
+	for _, idv := range fileIDs {
+		if limit > 0 && len(results) >= limit {
+			break
+		}
+		tuples, ls, err := s.engine.Fetch(TableItem, idv)
+		stats.Messages += ls.Messages
+		stats.Bytes += ls.Bytes
+		stats.Hops += ls.Hops
+		if err != nil {
+			continue // a missing Item (e.g. holder churned out) drops one result
+		}
+		for _, t := range tuples {
+			f, id, err := FileFromItemTuple(t)
+			if err != nil {
+				continue
+			}
+			results = append(results, Result{File: f, FileID: id})
+		}
+	}
+	sort.Slice(results, func(i, j int) bool {
+		if results[i].File.Name != results[j].File.Name {
+			return results[i].File.Name < results[j].File.Name
+		}
+		return results[i].File.Host < results[j].File.Host
+	})
+	if limit > 0 && len(results) > limit {
+		results = results[:limit]
+	}
+	return results, stats, nil
+}

@@ -1,0 +1,193 @@
+// Package simnet provides a simulated message network on top of the
+// discrete-event simulator. It models per-message latency, message loss and
+// node failure, and keeps byte/message accounting so experiments can report
+// bandwidth overheads the way the paper does.
+//
+// The network is single-threaded: all delivery happens inside sim callbacks.
+// Use package wire for the real TCP transport used by the deployment mode.
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"piersearch/internal/sim"
+)
+
+// NodeID identifies an endpoint attached to the network.
+type NodeID int
+
+// Message is a payload in flight between two endpoints. Size is the number
+// of bytes the message would occupy on a real wire and is charged to the
+// network's byte counters.
+type Message struct {
+	From    NodeID
+	To      NodeID
+	Kind    string
+	Payload any
+	Size    int
+}
+
+// Handler receives delivered messages for one endpoint.
+type Handler func(m Message)
+
+// LatencyModel produces a one-way delay for each message.
+type LatencyModel interface {
+	Delay(rng *rand.Rand) time.Duration
+}
+
+// Constant is a LatencyModel with a fixed one-way delay.
+type Constant time.Duration
+
+// Delay implements LatencyModel.
+func (c Constant) Delay(*rand.Rand) time.Duration { return time.Duration(c) }
+
+// Uniform is a LatencyModel drawing delays uniformly from [Min, Max].
+type Uniform struct {
+	Min, Max time.Duration
+}
+
+// Delay implements LatencyModel.
+func (u Uniform) Delay(rng *rand.Rand) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// WideArea approximates Internet paths: a base propagation delay plus an
+// exponential queueing tail. The defaults (see DefaultWideArea) land in the
+// few-tens-to-low-hundreds of milliseconds regime reported for PlanetLab.
+type WideArea struct {
+	Base time.Duration // minimum one-way delay
+	Tail time.Duration // mean of the exponential excess
+}
+
+// Delay implements LatencyModel.
+func (w WideArea) Delay(rng *rand.Rand) time.Duration {
+	return w.Base + time.Duration(rng.ExpFloat64()*float64(w.Tail))
+}
+
+// DefaultWideArea matches the latency regime of the paper's PlanetLab
+// vantage points spread over two continents.
+func DefaultWideArea() WideArea {
+	return WideArea{Base: 30 * time.Millisecond, Tail: 40 * time.Millisecond}
+}
+
+// Stats accumulates traffic counters. Counters are totals since the network
+// was created; use Snapshot/Sub to measure an interval.
+type Stats struct {
+	Messages uint64
+	Bytes    uint64
+	Dropped  uint64 // lost to loss probability or detached destination
+	ByKind   map[string]KindStats
+}
+
+// KindStats are per-message-kind counters.
+type KindStats struct {
+	Messages uint64
+	Bytes    uint64
+}
+
+// Sub returns the difference s - prev, for interval measurements.
+func (s Stats) Sub(prev Stats) Stats {
+	out := Stats{
+		Messages: s.Messages - prev.Messages,
+		Bytes:    s.Bytes - prev.Bytes,
+		Dropped:  s.Dropped - prev.Dropped,
+		ByKind:   make(map[string]KindStats, len(s.ByKind)),
+	}
+	for k, v := range s.ByKind {
+		p := prev.ByKind[k]
+		out.ByKind[k] = KindStats{Messages: v.Messages - p.Messages, Bytes: v.Bytes - p.Bytes}
+	}
+	return out
+}
+
+// Network is a simulated datagram network. It is not safe for concurrent
+// use; all calls must happen on the simulator goroutine.
+type Network struct {
+	sim      *sim.Sim
+	latency  LatencyModel
+	loss     float64
+	handlers map[NodeID]Handler
+	stats    Stats
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithLatency sets the latency model (default: DefaultWideArea).
+func WithLatency(m LatencyModel) Option { return func(n *Network) { n.latency = m } }
+
+// WithLoss sets the independent per-message loss probability in [0, 1].
+func WithLoss(p float64) Option { return func(n *Network) { n.loss = p } }
+
+// New creates a network scheduled on s.
+func New(s *sim.Sim, opts ...Option) *Network {
+	n := &Network{
+		sim:      s,
+		latency:  DefaultWideArea(),
+		handlers: make(map[NodeID]Handler),
+	}
+	n.stats.ByKind = make(map[string]KindStats)
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Sim returns the simulator this network schedules on.
+func (n *Network) Sim() *sim.Sim { return n.sim }
+
+// SetLoss changes the loss probability mid-run (failure injection).
+func (n *Network) SetLoss(p float64) { n.loss = p }
+
+// Attach registers h as the handler for id, replacing any previous handler.
+func (n *Network) Attach(id NodeID, h Handler) { n.handlers[id] = h }
+
+// Detach removes id from the network; in-flight messages to id are dropped
+// at delivery time. This models node failure.
+func (n *Network) Detach(id NodeID) { delete(n.handlers, id) }
+
+// Attached reports whether id currently has a handler.
+func (n *Network) Attached(id NodeID) bool {
+	_, ok := n.handlers[id]
+	return ok
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats {
+	out := n.stats
+	out.ByKind = make(map[string]KindStats, len(n.stats.ByKind))
+	for k, v := range n.stats.ByKind {
+		out.ByKind[k] = v
+	}
+	return out
+}
+
+// Send queues m for delivery after a sampled latency. The message is charged
+// to the byte counters even if it is ultimately dropped, mirroring real
+// networks where the sender pays for lost traffic.
+func (n *Network) Send(m Message) {
+	n.stats.Messages++
+	n.stats.Bytes += uint64(m.Size)
+	ks := n.stats.ByKind[m.Kind]
+	ks.Messages++
+	ks.Bytes += uint64(m.Size)
+	n.stats.ByKind[m.Kind] = ks
+
+	if n.loss > 0 && n.sim.Rand().Float64() < n.loss {
+		n.stats.Dropped++
+		return
+	}
+	delay := n.latency.Delay(n.sim.Rand())
+	n.sim.After(delay, func() {
+		h, ok := n.handlers[m.To]
+		if !ok {
+			n.stats.Dropped++
+			return
+		}
+		h(m)
+	})
+}

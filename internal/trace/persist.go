@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Persistence: traces are expensive to generate at paper scale and
+// experiments should be replayable bit-for-bit, so a generated workload can
+// be written to disk and reloaded. The format is gzip-compressed gob of
+// the files and queries plus the generating config.
+
+// persisted is the on-disk form.
+type persisted struct {
+	Version int
+	Cfg     Config
+	Files   []DistinctFile
+	Queries []Query
+}
+
+const persistVersion = 1
+
+// Save writes the trace to w.
+func (tr *Trace) Save(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(persisted{
+		Version: persistVersion,
+		Cfg:     tr.Cfg,
+		Files:   tr.Files,
+		Queries: tr.Queries,
+	}); err != nil {
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	return zw.Close()
+}
+
+// SaveFile writes the trace to path.
+func (tr *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := tr.Save(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a trace written by Save. The loaded trace's random source is
+// reseeded from the config, so Placement calls on a loaded trace are
+// deterministic (though not identical to ones made on the original before
+// saving, which had advanced the generator's state).
+func Load(r io.Reader) (*Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open: %w", err)
+	}
+	defer zr.Close()
+	var p persisted
+	if err := gob.NewDecoder(zr).Decode(&p); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", p.Version)
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("trace: empty file set")
+	}
+	tr := &Trace{Cfg: p.Cfg, Files: p.Files, Queries: p.Queries}
+	tr.rng = newRNG(p.Cfg.Seed)
+	return tr, nil
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(bufio.NewReader(f))
+}

@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	orig := Generate(smallCfg())
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Files) != len(orig.Files) || len(got.Queries) != len(orig.Queries) {
+		t.Fatalf("loaded %d files / %d queries", len(got.Files), len(got.Queries))
+	}
+	for i := range orig.Files {
+		if !reflect.DeepEqual(got.Files[i], orig.Files[i]) {
+			t.Fatalf("file %d differs", i)
+		}
+	}
+	for i := range orig.Queries {
+		if !reflect.DeepEqual(got.Queries[i], orig.Queries[i]) {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+	if got.Cfg != orig.Cfg {
+		t.Errorf("config differs: %+v vs %+v", got.Cfg, orig.Cfg)
+	}
+}
+
+func TestLoadedTraceIsUsable(t *testing.T) {
+	orig := Generate(smallCfg())
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Derived statistics match the original exactly.
+	if got.TotalInstances() != orig.TotalInstances() {
+		t.Error("instance counts differ")
+	}
+	if got.SingletonInstanceFrac() != orig.SingletonInstanceFrac() {
+		t.Error("singleton fractions differ")
+	}
+	// Placement works and is deterministic across two loads.
+	var buf2 bytes.Buffer
+	orig.Save(&buf2)
+	again, _ := Load(&buf2)
+	p1 := got.Placement(1000)
+	p2 := again.Placement(1000)
+	for i := range p1 {
+		if !reflect.DeepEqual(p1[i], p2[i]) {
+			t.Fatalf("placement differs at rank %d", i)
+		}
+	}
+	// Matching still works on loaded data.
+	m := got.MatchingFiles()
+	if len(m) != len(got.Queries) {
+		t.Errorf("matching sets = %d", len(m))
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	orig := Generate(smallCfg())
+	path := filepath.Join(t.TempDir(), "trace.gob.gz")
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Files) != len(orig.Files) {
+		t.Errorf("loaded %d files", len(got.Files))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not gzip"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadFile("/nonexistent/path"); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Truncated stream.
+	orig := Generate(smallCfg())
+	var buf bytes.Buffer
+	orig.Save(&buf)
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

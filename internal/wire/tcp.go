@@ -1,0 +1,209 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"piersearch/internal/dht"
+)
+
+// TCPTransport implements dht.Transport over TCP with one pooled
+// connection per destination. It is safe for concurrent use; calls to the
+// same destination serialise on its connection.
+type TCPTransport struct {
+	DialTimeout time.Duration // default 5s
+	CallTimeout time.Duration // per-RPC deadline, default 10s
+	// Delay, if set, sleeps before each call — wide-area latency injection
+	// for single-machine deployments (the paper's nodes were continents
+	// apart; loopback is not).
+	Delay time.Duration
+
+	mu    sync.Mutex
+	conns map[string]*pooledConn
+}
+
+type pooledConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewTCPTransport returns a ready transport.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{
+		DialTimeout: 5 * time.Second,
+		CallTimeout: 10 * time.Second,
+		conns:       make(map[string]*pooledConn),
+	}
+}
+
+func (t *TCPTransport) pooled(addr string) *pooledConn {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pc, ok := t.conns[addr]
+	if !ok {
+		pc = &pooledConn{}
+		t.conns[addr] = pc
+	}
+	return pc
+}
+
+// Call implements dht.Transport.
+func (t *TCPTransport) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, error) {
+	if t.Delay > 0 {
+		time.Sleep(t.Delay)
+	}
+	pc := t.pooled(to.Addr)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+
+	resp, err := t.callOnce(pc, to.Addr, req)
+	if err != nil && pc.conn != nil {
+		// Stale pooled connection: retry once on a fresh dial.
+		pc.conn.Close()
+		pc.conn = nil
+		resp, err = t.callOnce(pc, to.Addr, req)
+	}
+	if err != nil {
+		if pc.conn != nil {
+			pc.conn.Close()
+			pc.conn = nil
+		}
+		return nil, fmt.Errorf("wire: call %s: %w", to.Addr, err)
+	}
+	return resp, nil
+}
+
+func (t *TCPTransport) callOnce(pc *pooledConn, addr string, req *dht.Request) (*dht.Response, error) {
+	if pc.conn == nil {
+		conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+		if err != nil {
+			return nil, err
+		}
+		pc.conn = conn
+	}
+	deadline := time.Now().Add(t.CallTimeout)
+	if err := pc.conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(pc.conn, EncodeRequest(req)); err != nil {
+		return nil, err
+	}
+	payload, err := ReadFrame(pc.conn)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponse(payload)
+}
+
+// Close drops all pooled connections.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, pc := range t.conns {
+		pc.mu.Lock()
+		if pc.conn != nil {
+			pc.conn.Close()
+			pc.conn = nil
+		}
+		pc.mu.Unlock()
+	}
+}
+
+// Server accepts DHT RPCs for one node.
+type Server struct {
+	node *dht.Node
+	ln   net.Listener
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	active map[net.Conn]bool
+}
+
+// Listen opens a listener on addr ("host:0" picks a free port) and returns
+// it so the caller can construct the node with the final address before
+// serving. Typical startup:
+//
+//	ln, _ := wire.Listen("127.0.0.1:0")
+//	node := dht.NewNode(dht.NodeInfo{ID: dht.RandomID(), Addr: ln.Addr().String()}, transport, cfg)
+//	srv := wire.NewServer(node, ln)
+//	go srv.Serve()
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// NewServer wraps an accepted listener around a node.
+func NewServer(node *dht.Node, ln net.Listener) *Server {
+	return &Server{node: node, ln: ln, active: make(map[net.Conn]bool)}
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until Close. Each connection handles a stream
+// of request frames sequentially.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.active[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.active, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		resp := s.node.HandleRPC(req)
+		if err := WriteFrame(conn, EncodeResponse(resp)); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, severs open connections, and waits for handler
+// goroutines to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	for conn := range s.active {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+}

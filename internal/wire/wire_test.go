@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/pier"
+	"piersearch/internal/piersearch"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello frame")
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("frame = %q", got)
+	}
+}
+
+func TestFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversize write accepted")
+	}
+	// A hostile length prefix must be rejected without allocating.
+	bad := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+		t.Error("hostile length prefix accepted")
+	}
+}
+
+func TestFrameTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	WriteFrame(&buf, []byte("full payload"))
+	data := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadFrame(bytes.NewReader(data)); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestRequestCodecRoundTrip(t *testing.T) {
+	req := &dht.Request{
+		Kind:   dht.RPCStore,
+		From:   dht.NodeInfo{ID: dht.StringID("from"), Addr: "1.2.3.4:5"},
+		Target: dht.StringID("target"),
+		Value: dht.StoredValue{
+			Data:      []byte("payload"),
+			Publisher: dht.StringID("pub"),
+			StoredAt:  5 * time.Second,
+			TTL:       time.Hour,
+		},
+		App:  "pier.chain",
+		Data: []byte{1, 2, 3},
+	}
+	got, err := DecodeRequest(EncodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != req.Kind || got.From != req.From || got.Target != req.Target {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if string(got.Value.Data) != "payload" || got.Value.TTL != time.Hour || got.Value.StoredAt != 5*time.Second {
+		t.Errorf("value mismatch: %+v", got.Value)
+	}
+	if got.App != req.App || string(got.Data) != string(req.Data) {
+		t.Errorf("app payload mismatch")
+	}
+}
+
+func TestRequestCodecNoValue(t *testing.T) {
+	req := &dht.Request{Kind: dht.RPCFindNode, Target: dht.StringID("k")}
+	got, err := DecodeRequest(EncodeRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Value.Data) != 0 || !got.Value.Publisher.IsZero() {
+		t.Errorf("phantom value decoded: %+v", got.Value)
+	}
+}
+
+func TestResponseCodecRoundTrip(t *testing.T) {
+	resp := &dht.Response{
+		From: dht.NodeInfo{ID: dht.StringID("srv"), Addr: "host:1"},
+		Closest: []dht.NodeInfo{
+			{ID: dht.StringID("a"), Addr: "a:1"},
+			{ID: dht.StringID("b"), Addr: "b:2"},
+		},
+		Values: []dht.StoredValue{
+			{Data: []byte("v1"), Publisher: dht.StringID("p1")},
+			{Data: []byte("v2"), Publisher: dht.StringID("p2"), TTL: time.Minute},
+		},
+		Data: []byte("reply"),
+		OK:   true,
+	}
+	got, err := DecodeResponse(EncodeResponse(resp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.OK || got.From != resp.From || len(got.Closest) != 2 || len(got.Values) != 2 {
+		t.Errorf("response mismatch: %+v", got)
+	}
+	if got.Closest[1].Addr != "b:2" || string(got.Values[0].Data) != "v1" {
+		t.Errorf("content mismatch")
+	}
+	if string(got.Data) != "reply" {
+		t.Errorf("data mismatch")
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	prop := func(app string, data, value []byte, ok bool) bool {
+		req := &dht.Request{
+			Kind: dht.RPCApp,
+			From: dht.NodeInfo{ID: dht.NewID(data), Addr: app},
+			App:  app,
+			Data: data,
+		}
+		if len(value) > 0 {
+			req.Value = dht.StoredValue{Data: value, Publisher: dht.NewID(value)}
+		}
+		got, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			return false
+		}
+		return got.App == app && string(got.Data) == string(data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, buf := range [][]byte{nil, {1}, {0, 1, 2}, bytes.Repeat([]byte{0xfe}, 30)} {
+		if _, err := DecodeRequest(buf); err == nil {
+			t.Errorf("garbage request %v accepted", buf)
+		}
+		if _, err := DecodeResponse(buf); err == nil {
+			t.Errorf("garbage response %v accepted", buf)
+		}
+	}
+	// Trailing bytes must be rejected.
+	good := EncodeRequest(&dht.Request{Kind: dht.RPCPing})
+	if _, err := DecodeRequest(append(good, 0)); err == nil {
+		t.Error("trailing request bytes accepted")
+	}
+}
+
+// startTCPNode spins up one DHT node served over real TCP loopback.
+func startTCPNode(t testing.TB, transport *TCPTransport) (*dht.Node, *Server) {
+	t.Helper()
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := dht.NewNode(dht.NodeInfo{ID: dht.RandomID(), Addr: ln.Addr().String()}, transport, dht.Config{})
+	srv := NewServer(node, ln)
+	go srv.Serve() //nolint:errcheck // closed in cleanup
+	t.Cleanup(srv.Close)
+	return node, srv
+}
+
+func TestTCPClusterPutGet(t *testing.T) {
+	transport := NewTCPTransport()
+	defer transport.Close()
+	const n = 8
+	nodes := make([]*dht.Node, n)
+	for i := range nodes {
+		nodes[i], _ = startTCPNode(t, transport)
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Bootstrap(nodes[0].Info()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nodes[2].Put("ns", "key", []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	values, _, err := nodes[6].Get("ns", "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 1 || string(values[0].Data) != "over tcp" {
+		t.Fatalf("Get over TCP = %v", values)
+	}
+}
+
+func TestTCPPierSearchEndToEnd(t *testing.T) {
+	// The full §7 stack over real sockets: PIERSearch publishing and both
+	// query strategies across TCP-served DHT nodes.
+	transport := NewTCPTransport()
+	defer transport.Close()
+	const n = 6
+	nodes := make([]*dht.Node, n)
+	engines := make([]*pier.Engine, n)
+	for i := range nodes {
+		nodes[i], _ = startTCPNode(t, transport)
+		engines[i] = pier.NewEngine(nodes[i], pier.Config{OrderBySelectivity: true})
+		piersearch.RegisterSchemas(engines[i])
+	}
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Bootstrap(nodes[0].Info()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub := piersearch.NewPublisher(engines[1], piersearch.ModeBoth, piersearch.Tokenizer{})
+	for i := 0; i < 5; i++ {
+		f := piersearch.File{Name: fmt.Sprintf("network demo track%02d.mp3", i), Size: 1000, Host: "127.0.0.1", Port: 6346}
+		if _, err := pub.Publish(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	search := piersearch.NewSearch(engines[4], piersearch.Tokenizer{})
+	for _, strat := range []piersearch.Strategy{piersearch.StrategyJoin, piersearch.StrategyCache} {
+		results, _, err := search.Query("network demo", strat, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(results) != 5 {
+			t.Fatalf("%v: %d results, want 5", strat, len(results))
+		}
+	}
+}
+
+func TestTCPCallToDeadNodeFails(t *testing.T) {
+	transport := NewTCPTransport()
+	transport.DialTimeout = 200 * time.Millisecond
+	defer transport.Close()
+	_, err := transport.Call(dht.NodeInfo{Addr: "127.0.0.1:1"}, &dht.Request{Kind: dht.RPCPing})
+	if err == nil {
+		t.Error("call to dead address succeeded")
+	}
+}
+
+func TestTCPServerCloseUnblocks(t *testing.T) {
+	transport := NewTCPTransport()
+	defer transport.Close()
+	node, srv := startTCPNode(t, transport)
+	// One successful call, then close, then calls fail.
+	if _, err := transport.Call(node.Info(), &dht.Request{Kind: dht.RPCPing}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	transport.Close()
+	transport.DialTimeout = 200 * time.Millisecond
+	if _, err := transport.Call(node.Info(), &dht.Request{Kind: dht.RPCPing}); err == nil {
+		t.Error("call after server close succeeded")
+	}
+}
+
+func BenchmarkCodecRequest(b *testing.B) {
+	req := &dht.Request{
+		Kind:   dht.RPCStore,
+		From:   dht.NodeInfo{ID: dht.StringID("x"), Addr: "10.0.0.1:6346"},
+		Target: dht.StringID("y"),
+		Value:  dht.StoredValue{Data: make([]byte, 256), Publisher: dht.StringID("p")},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := EncodeRequest(req)
+		if _, err := DecodeRequest(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
