@@ -1,0 +1,3 @@
+module piersearch
+
+go 1.24

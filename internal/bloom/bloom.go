@@ -128,6 +128,32 @@ func (f *Filter) Union(other *Filter) error {
 	return nil
 }
 
+// Intersect ANDs other into f. Both filters must have identical geometry.
+// The result is a conservative filter for the set intersection: anything in
+// both underlying sets still tests positive (no false negatives), while the
+// false-positive rate is at most that of either input. PIER's concurrent
+// chain join intersects the per-keyword posting filters this way to prune
+// candidates before any posting list is shipped.
+func (f *Filter) Intersect(other *Filter) error {
+	if f.m != other.m || f.k != other.k {
+		return fmt.Errorf("bloom: incompatible intersect: %d/%d bits, %d/%d hashes", f.m, other.m, f.k, other.k)
+	}
+	for i := range f.bits {
+		f.bits[i] &= other.bits[i]
+	}
+	if other.count < f.count {
+		f.count = other.count // upper bound on the intersection cardinality
+	}
+	return nil
+}
+
+// Clone returns an independent copy of f.
+func (f *Filter) Clone() *Filter {
+	out := &Filter{bits: make([]uint64, len(f.bits)), m: f.m, k: f.k, count: f.count}
+	copy(out.bits, f.bits)
+	return out
+}
+
 // Clear resets the filter to empty.
 func (f *Filter) Clear() {
 	for i := range f.bits {

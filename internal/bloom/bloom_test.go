@@ -81,6 +81,41 @@ func TestUnion(t *testing.T) {
 	}
 }
 
+func TestIntersect(t *testing.T) {
+	a := New(1024, 3)
+	b := New(1024, 3)
+	for _, s := range []string{"alpha", "both"} {
+		a.AddString(s)
+	}
+	for _, s := range []string{"beta", "both"} {
+		b.AddString(s)
+	}
+	if err := a.Intersect(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.TestString("both") {
+		t.Error("intersect lost a common element")
+	}
+	if a.TestString("alpha") || a.TestString("beta") {
+		t.Error("intersect kept a one-sided element")
+	}
+	if a.Count() != 2 {
+		t.Errorf("Count = %d, want upper bound 2", a.Count())
+	}
+}
+
+func TestIntersectIncompatible(t *testing.T) {
+	a := New(1024, 3)
+	b := New(2048, 3)
+	if err := a.Intersect(b); err == nil {
+		t.Error("intersect of different sizes succeeded")
+	}
+	c := New(1024, 4)
+	if err := a.Intersect(c); err == nil {
+		t.Error("intersect of different k succeeded")
+	}
+}
+
 func TestUnionIncompatible(t *testing.T) {
 	a := New(1024, 3)
 	b := New(2048, 3)

@@ -49,8 +49,9 @@ type LookupStats struct {
 	Failed   int // contacts that did not respond
 }
 
-// add merges other into s.
-func (s *LookupStats) add(o LookupStats) {
+// Add merges other into s. Callers fanning out lookups concurrently must
+// serialise Add calls themselves.
+func (s *LookupStats) Add(o LookupStats) {
 	s.Messages += o.Messages
 	s.Bytes += o.Bytes
 	s.Hops += o.Hops
@@ -62,15 +63,17 @@ func (s *LookupStats) add(o LookupStats) {
 var ErrNoContacts = errors.New("dht: routing table empty")
 
 // Node is one DHT participant. All exported methods are safe for concurrent
-// use; outbound RPCs are issued without holding the node lock.
+// use: the routing table and store carry their own locks, outbound RPCs are
+// issued without holding any node lock, and the concurrent PIER pipeline
+// drives many Put/Get/Send operations against one node at once.
 type Node struct {
 	info      Config
 	self      NodeInfo
 	transport Transport
+	table     *Table
+	store     *Store
 
-	mu       sync.Mutex
-	table    *Table
-	store    *Store
+	mu       sync.Mutex // guards handlers
 	handlers map[string]AppHandler
 }
 
@@ -94,16 +97,10 @@ func (n *Node) Info() NodeInfo { return n.self }
 func (n *Node) Config() Config { return n.info }
 
 // TableLen returns the number of routing-table contacts.
-func (n *Node) TableLen() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.table.Len()
-}
+func (n *Node) TableLen() int { return n.table.Len() }
 
 // StoreStats returns (keys, values, payload bytes) held locally.
 func (n *Node) StoreStats() (keys, values, bytes int) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.store.Len(), n.store.ValueCount(), n.store.Bytes()
 }
 
@@ -120,19 +117,15 @@ func (n *Node) observe(peer NodeInfo) {
 	if peer.ID == n.self.ID || peer.ID.IsZero() {
 		return
 	}
-	n.mu.Lock()
 	candidate, _ := n.table.Update(peer)
-	n.mu.Unlock()
 	if candidate == nil {
 		return
 	}
 	// Bucket full: ping the least-recently-seen contact and evict it if
 	// dead, per Kademlia. New contact is dropped if the old one is alive.
 	if _, err := n.call(*candidate, &Request{Kind: RPCPing, From: n.self}); err != nil {
-		n.mu.Lock()
 		n.table.Evict(candidate.ID)
 		n.table.Update(peer)
-		n.mu.Unlock()
 	}
 }
 
@@ -141,9 +134,7 @@ func (n *Node) call(to NodeInfo, req *Request) (*Response, error) {
 	req.From = n.self
 	resp, err := n.transport.Call(to, req)
 	if err != nil {
-		n.mu.Lock()
 		n.table.Evict(to.ID)
-		n.mu.Unlock()
 		return nil, err
 	}
 	return resp, nil
@@ -158,22 +149,16 @@ func (n *Node) HandleRPC(req *Request) *Response {
 		return &Response{From: n.self, OK: true}
 
 	case RPCFindNode:
-		n.mu.Lock()
 		closest := n.table.Closest(req.Target, n.info.K)
-		n.mu.Unlock()
 		return &Response{From: n.self, Closest: closest, OK: true}
 
 	case RPCFindValue:
-		n.mu.Lock()
 		values := n.store.Get(req.Target, n.info.Clock())
 		closest := n.table.Closest(req.Target, n.info.K)
-		n.mu.Unlock()
 		return &Response{From: n.self, Values: values, Closest: closest, OK: true}
 
 	case RPCStore:
-		n.mu.Lock()
 		n.store.Put(req.Target, req.Value)
-		n.mu.Unlock()
 		return &Response{From: n.self, OK: true}
 
 	case RPCApp:
@@ -219,9 +204,7 @@ func (n *Node) Lookup(target ID) ([]NodeInfo, LookupStats, error) {
 func (n *Node) iterate(target ID, findValue bool) ([]NodeInfo, []StoredValue, LookupStats, error) {
 	var stats LookupStats
 
-	n.mu.Lock()
 	shortlist := n.table.Closest(target, n.info.K)
-	n.mu.Unlock()
 	if len(shortlist) == 0 {
 		return nil, nil, stats, ErrNoContacts
 	}
@@ -367,9 +350,7 @@ func (n *Node) PutID(key ID, data []byte) (LookupStats, error) {
 	}
 	// If we are among the closest, hold a replica locally too.
 	if n.selfAmongClosest(key, closest) || stored == 0 {
-		n.mu.Lock()
 		n.store.Put(key, value)
-		n.mu.Unlock()
 	}
 	if stored == 0 && len(closest) > 0 && closest[0].ID != n.self.ID {
 		return stats, fmt.Errorf("dht: put %s: no replica stored", key.Short())
@@ -400,9 +381,7 @@ func (n *Node) Get(namespace, key string) ([]StoredValue, LookupStats, error) {
 // value sets found on the replica holders.
 func (n *Node) GetID(key ID) ([]StoredValue, LookupStats, error) {
 	// Check the local store first: we may be a replica holder.
-	n.mu.Lock()
 	local := n.store.Get(key, n.info.Clock())
-	n.mu.Unlock()
 
 	_, values, stats, err := n.iterate(key, true)
 	if err != nil && len(local) == 0 {
@@ -454,7 +433,7 @@ func (n *Node) Send(key ID, app string, data []byte) ([]byte, LookupStats, error
 		return h(n.self, data), stats, nil
 	}
 	reply, s2, err := n.SendTo(owner, app, data)
-	stats.add(s2)
+	stats.Add(s2)
 	return reply, stats, err
 }
 
@@ -480,15 +459,11 @@ func (n *Node) SendTo(to NodeInfo, app string, data []byte) ([]byte, LookupStats
 
 // LocalGet returns values held in this node's own store, without network.
 func (n *Node) LocalGet(key ID) []StoredValue {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.store.Get(key, n.info.Clock())
 }
 
 // LocalPut stores a value directly in this node's own store.
 func (n *Node) LocalPut(key ID, data []byte) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	n.store.Put(key, StoredValue{
 		Data:      data,
 		Publisher: n.self.ID,
@@ -500,7 +475,6 @@ func (n *Node) LocalPut(key ID, data []byte) {
 // Republish re-stores every locally held value, refreshing replicas after
 // churn. It returns the number of values republished.
 func (n *Node) Republish() (int, LookupStats) {
-	n.mu.Lock()
 	keys := n.store.Keys()
 	type kv struct {
 		key ID
@@ -515,12 +489,11 @@ func (n *Node) Republish() (int, LookupStats) {
 			}
 		}
 	}
-	n.mu.Unlock()
 
 	var stats LookupStats
 	for _, e := range all {
 		s, err := n.PutID(e.key, e.val.Data)
-		stats.add(s)
+		stats.Add(s)
 		if err != nil {
 			continue
 		}

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"sync"
 	"time"
 )
 
@@ -21,8 +22,10 @@ func (v StoredValue) expired(now time.Duration) bool {
 
 // Store is the node-local key/value store. Values are deduplicated by
 // (publisher, payload) so republishing refreshes rather than duplicates.
-// It is not safe for concurrent use; Node guards it.
+// It is safe for concurrent use: the concurrent query/publish pipeline has
+// many in-flight RPCs reading and writing one node's store at once.
 type Store struct {
+	mu     sync.Mutex
 	values map[ID][]StoredValue
 	bytes  int
 }
@@ -36,6 +39,8 @@ func NewStore() *Store {
 // publisher and identical payload (refresh). It reports whether the value
 // was new.
 func (s *Store) Put(key ID, v StoredValue) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	vs := s.values[key]
 	for i := range vs {
 		if vs[i].Publisher == v.Publisher && string(vs[i].Data) == string(v.Data) {
@@ -51,6 +56,8 @@ func (s *Store) Put(key ID, v StoredValue) bool {
 
 // Get returns the live values under key at time now, pruning expired ones.
 func (s *Store) Get(key ID, now time.Duration) []StoredValue {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	vs, ok := s.values[key]
 	if !ok {
 		return nil
@@ -75,6 +82,8 @@ func (s *Store) Get(key ID, now time.Duration) []StoredValue {
 
 // Delete removes every value under key.
 func (s *Store) Delete(key ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, v := range s.values[key] {
 		s.bytes -= len(v.Data)
 	}
@@ -84,6 +93,8 @@ func (s *Store) Delete(key ID) {
 // Keys returns every key currently present (including ones whose values may
 // all be expired; Get prunes lazily).
 func (s *Store) Keys() []ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	keys := make([]ID, 0, len(s.values))
 	for k := range s.values {
 		keys = append(keys, k)
@@ -92,10 +103,16 @@ func (s *Store) Keys() []ID {
 }
 
 // Len returns the number of keys.
-func (s *Store) Len() int { return len(s.values) }
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.values)
+}
 
 // ValueCount returns the total number of stored values across keys.
 func (s *Store) ValueCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, vs := range s.values {
 		n += len(vs)
@@ -104,11 +121,17 @@ func (s *Store) ValueCount() int {
 }
 
 // Bytes returns the approximate payload bytes held.
-func (s *Store) Bytes() int { return s.bytes }
+func (s *Store) Bytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
 
 // Expire removes all values past their TTL at time now and returns how many
 // were removed. Nodes run this periodically.
 func (s *Store) Expire(now time.Duration) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	removed := 0
 	for k, vs := range s.values {
 		live := vs[:0]

@@ -2,6 +2,7 @@ package dht
 
 import (
 	"sort"
+	"sync"
 )
 
 // NodeInfo identifies a DHT participant: its identifier plus a
@@ -27,10 +28,13 @@ func (b *bucket) indexOf(id ID) int {
 }
 
 // Table is a Kademlia routing table: IDBits k-buckets keyed by shared-prefix
-// length with the owner. It is not safe for concurrent use; Node guards it.
+// length with the owner. It is safe for concurrent use: parallel lookups and
+// RPC handlers observe contacts from many goroutines at once.
 type Table struct {
-	self    ID
-	k       int
+	self ID
+	k    int
+
+	mu      sync.Mutex
 	buckets [IDBits]bucket
 }
 
@@ -60,6 +64,8 @@ func (t *Table) Update(n NodeInfo) (evictCandidate *NodeInfo, updated bool) {
 	if idx < 0 {
 		return nil, false // never store ourselves
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	b := &t.buckets[idx]
 	if i := b.indexOf(n.ID); i >= 0 {
 		// Move to tail, refreshing the address in case it changed.
@@ -81,6 +87,8 @@ func (t *Table) Evict(id ID) {
 	if idx < 0 {
 		return
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	b := &t.buckets[idx]
 	if i := b.indexOf(id); i >= 0 {
 		b.entries = append(b.entries[:i], b.entries[i+1:]...)
@@ -93,11 +101,19 @@ func (t *Table) Contains(id ID) bool {
 	if idx < 0 {
 		return false
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return t.buckets[idx].indexOf(id) >= 0
 }
 
 // Len returns the total number of contacts.
 func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lenLocked()
+}
+
+func (t *Table) lenLocked() int {
 	n := 0
 	for i := range t.buckets {
 		n += len(t.buckets[i].entries)
@@ -108,10 +124,7 @@ func (t *Table) Len() int {
 // Closest returns up to count contacts closest to target under XOR,
 // ordered nearest first.
 func (t *Table) Closest(target ID, count int) []NodeInfo {
-	all := make([]NodeInfo, 0, t.Len())
-	for i := range t.buckets {
-		all = append(all, t.buckets[i].entries...)
-	}
+	all := t.Contacts()
 	sort.Slice(all, func(i, j int) bool {
 		return Closer(all[i].ID, all[j].ID, target)
 	})
@@ -123,7 +136,9 @@ func (t *Table) Closest(target ID, count int) []NodeInfo {
 
 // Contacts returns a copy of every contact in the table.
 func (t *Table) Contacts() []NodeInfo {
-	all := make([]NodeInfo, 0, t.Len())
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	all := make([]NodeInfo, 0, t.lenLocked())
 	for i := range t.buckets {
 		all = append(all, t.buckets[i].entries...)
 	}

@@ -1,7 +1,3 @@
-// Package hybrid implements the paper's hybrid search infrastructure (§5,
-// §7): rare-item identification schemes that decide which files the DHT
-// partial index should hold, and the hybrid ultrapeer that floods Gnutella
-// first and re-queries PIERSearch when flooding comes up empty.
 package hybrid
 
 import (

@@ -1,0 +1,314 @@
+package pier
+
+// This file implements the concurrent side of the engine: batched tuple
+// publishing, parallel posting-list probes, and a chain join whose
+// per-keyword probe phase overlaps network round-trips and prunes the
+// shipped candidate stream with intersected Bloom filters. The sequential
+// primitives in engine.go remain the reference semantics; everything here
+// must return the same answers, only faster.
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"piersearch/internal/bloom"
+	"piersearch/internal/dht"
+)
+
+// gauge tracks the high-water mark of concurrently running workers.
+type gauge struct {
+	mu       sync.Mutex
+	cur, max int
+}
+
+func (g *gauge) enter() {
+	g.mu.Lock()
+	g.cur++
+	if g.cur > g.max {
+		g.max = g.cur
+	}
+	g.mu.Unlock()
+}
+
+func (g *gauge) exit() {
+	g.mu.Lock()
+	g.cur--
+	g.mu.Unlock()
+}
+
+func (g *gauge) high() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// ForEach runs fn(i) for every i in [0, n) with at most workers calls in
+// flight and returns the observed concurrency high-water mark. workers <= 1
+// degenerates to a plain sequential loop. It is the bounded pool every
+// concurrent engine path (and piersearch's fetch fan-out) runs on.
+func ForEach(n, workers int, fn func(i int)) int {
+	var g gauge
+	forEach(n, workers, &g, fn)
+	return g.high()
+}
+
+// forEach is ForEach with a caller-supplied gauge.
+func forEach(n, workers int, g *gauge, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			g.enter()
+			fn(i)
+			g.exit()
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				g.enter()
+				fn(i)
+				g.exit()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Workers returns the engine's configured fan-out bound.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Pub is one (table, tuple) pair for PublishBatch.
+type Pub struct {
+	Table string
+	Tuple Tuple
+}
+
+// BatchResult reports the cost and outcome of one PublishBatch call.
+type BatchResult struct {
+	Stats       dht.LookupStats
+	MaxInFlight int // concurrency high-water mark during the batch
+	Published   int // entries stored successfully
+}
+
+// PublishBatch publishes every entry with up to workers DHT puts in flight
+// (workers <= 0 means the engine's configured default) and returns the
+// aggregate traffic cost. All entries are attempted even when some fail;
+// the error for the earliest failing entry is returned. This is the hot
+// path of file publishing: one file expands into an Item tuple plus a
+// posting tuple per keyword, all independent, so fanning them out hides
+// the per-put routing latency.
+func (e *Engine) PublishBatch(pubs []Pub, workers int) (BatchResult, error) {
+	if workers <= 0 {
+		workers = e.cfg.Workers
+	}
+	var mu sync.Mutex
+	var res BatchResult
+	errs := make([]error, len(pubs))
+	var g gauge
+	forEach(len(pubs), workers, &g, func(i int) {
+		ls, err := e.Publish(pubs[i].Table, pubs[i].Tuple)
+		errs[i] = err
+		mu.Lock()
+		res.Stats.Add(ls)
+		if err == nil {
+			res.Published++
+		}
+		mu.Unlock()
+	})
+	res.MaxInFlight = g.high()
+	for i, err := range errs {
+		if err != nil {
+			return res, fmt.Errorf("pier: publish batch entry %d: %w", i, err)
+		}
+	}
+	return res, nil
+}
+
+// Bounds on peer-requested filter geometry: a remote node controls
+// bloomMsg.Bits/Hashes, and bloom.New allocates Bits/8 bytes, so the
+// handler must reject absurd requests rather than OOM (the wire layer
+// caps frame sizes for the same reason).
+const (
+	maxBloomBits   = 1 << 20 // 128 KiB filter
+	maxBloomHashes = 32
+)
+
+// bloomMsg asks a key owner for its posting-list size and a Bloom filter
+// of the list's join-column values, in one round-trip.
+type bloomMsg struct {
+	Table   string
+	Key     Value
+	JoinCol string
+	Bits    uint64
+	Hashes  uint32
+}
+
+// bloomReply carries the probe result; Filter is a marshalled bloom.Filter.
+type bloomReply struct {
+	Count  int
+	Filter []byte
+	Err    string
+}
+
+func init() {
+	gob.Register(bloomMsg{})
+	gob.Register(bloomReply{})
+}
+
+func (e *Engine) handleBloom(_ dht.NodeInfo, data []byte) []byte {
+	msg, err := decode[bloomMsg](data)
+	if err != nil {
+		return encode(bloomReply{Err: "bad bloom message"})
+	}
+	sch, ok := e.Schema(msg.Table)
+	if !ok {
+		return encode(bloomReply{Err: "unknown table " + msg.Table})
+	}
+	joinIdx := sch.ColIndex(msg.JoinCol)
+	if joinIdx < 0 {
+		return encode(bloomReply{Err: "no column " + msg.JoinCol})
+	}
+	if msg.Bits == 0 || msg.Hashes == 0 || msg.Bits > maxBloomBits || msg.Hashes > maxBloomHashes {
+		return encode(bloomReply{Err: "bad filter geometry"})
+	}
+	tuples, err := e.LocalScan(msg.Table, msg.Key)
+	if err != nil {
+		return encode(bloomReply{Err: err.Error()})
+	}
+	f := bloom.New(msg.Bits, msg.Hashes)
+	for _, t := range tuples {
+		f.AddString(t[joinIdx].Key())
+	}
+	raw, err := f.MarshalBinary()
+	if err != nil {
+		return encode(bloomReply{Err: err.Error()})
+	}
+	return encode(bloomReply{Count: len(tuples), Filter: raw})
+}
+
+// decodePreJoinFilter unmarshals a chainMsg pre-join filter, returning nil
+// when absent or malformed (the chain then simply skips pruning).
+func decodePreJoinFilter(raw []byte) *bloom.Filter {
+	if len(raw) == 0 {
+		return nil
+	}
+	f := new(bloom.Filter)
+	if err := f.UnmarshalBinary(raw); err != nil {
+		return nil
+	}
+	return f
+}
+
+// keyProbe is one key's probe result during ChainJoinConcurrent.
+type keyProbe struct {
+	key    Value
+	count  int
+	filter *bloom.Filter
+}
+
+// ChainJoinConcurrent executes the same distributed join as ChainJoin but
+// overlaps the per-keyword posting probes: every key's owner is asked, in
+// parallel, for its posting-list size and a Bloom filter of its fileIDs.
+// The keys are then ordered smallest-first and the intersection of the
+// later keys' filters rides along with the chain plan, so the first step
+// ships only candidate fileIDs that can survive every later join — the
+// pruning §5 needs to keep rare-item queries cheap at Internet scale.
+func (e *Engine) ChainJoinConcurrent(table string, keys []Value, joinCol string, limit int) ([]Value, OpStats, error) {
+	var stats OpStats
+	if len(keys) == 0 {
+		return nil, stats, fmt.Errorf("pier: chain join needs at least one key")
+	}
+	sch, ok := e.Schema(table)
+	if !ok {
+		return nil, stats, fmt.Errorf("pier: unknown table %s", table)
+	}
+	if sch.ColIndex(joinCol) < 0 {
+		return nil, stats, fmt.Errorf("pier: table %s has no column %s", table, joinCol)
+	}
+
+	msg := chainMsg{
+		Table:   table,
+		JoinCol: joinCol,
+		Keys:    keys,
+		Origin:  e.node.Info(),
+	}
+	if len(keys) > 1 {
+		probes := e.probeKeys(table, keys, joinCol, &stats)
+		sort.SliceStable(probes, func(i, j int) bool { return probes[i].count < probes[j].count })
+		ordered := make([]Value, len(probes))
+		for i, p := range probes {
+			ordered[i] = p.key
+		}
+		msg.Keys = ordered
+		// Intersect the later keys' filters (the first key scans locally;
+		// a failed probe contributes nothing and cannot prune).
+		var pre *bloom.Filter
+		for _, p := range probes[1:] {
+			if p.filter == nil {
+				continue
+			}
+			if pre == nil {
+				pre = p.filter.Clone()
+				continue
+			}
+			if err := pre.Intersect(p.filter); err != nil {
+				pre = nil // mismatched geometry: fall back to no pruning
+				break
+			}
+		}
+		// A partial intersection (some probes failed) still prunes against a
+		// superset of the true candidate set, so it stays correct — Bloom
+		// filters admit false positives but never false negatives.
+		if pre != nil {
+			if raw, err := pre.MarshalBinary(); err == nil {
+				msg.Filter = raw
+			}
+		}
+	}
+	return e.dispatchChain(msg, &stats, limit)
+}
+
+// probeKeys issues the count+filter probe for every key with bounded
+// parallelism, folding traffic into stats.
+func (e *Engine) probeKeys(table string, keys []Value, joinCol string, stats *OpStats) []keyProbe {
+	var mu sync.Mutex
+	probes := make([]keyProbe, len(keys))
+	var g gauge
+	forEach(len(keys), e.cfg.Workers, &g, func(i int) {
+		probes[i] = keyProbe{key: keys[i], count: 1 << 30} // unknown: order last
+		req := bloomMsg{Table: table, Key: keys[i], JoinCol: joinCol, Bits: e.cfg.BloomBits, Hashes: e.cfg.BloomHashes}
+		reply, ls, err := e.node.Send(keyID(table, keys[i]), appBloom, encode(req))
+		mu.Lock()
+		stats.addLookup(ls)
+		mu.Unlock()
+		if err != nil {
+			return
+		}
+		br, err := decode[bloomReply](reply)
+		if err != nil || br.Err != "" {
+			return
+		}
+		probes[i].count = br.Count
+		probes[i].filter = decodePreJoinFilter(br.Filter)
+	})
+	if g.high() > stats.MaxInFlight {
+		stats.MaxInFlight = g.high()
+	}
+	return probes
+}

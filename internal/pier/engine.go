@@ -16,6 +16,7 @@ import (
 const (
 	appChain  = "pier.chain"  // distributed SHJ chain step
 	appCount  = "pier.count"  // posting-list cardinality probe
+	appBloom  = "pier.bloom"  // posting-list cardinality + Bloom filter probe
 	appCache  = "pier.cache"  // InvertedCache single-site plan
 	appResult = "pier.result" // final results streamed back to the origin
 )
@@ -29,6 +30,9 @@ type OpStats struct {
 	Bytes          int
 	Hops           int
 	PostingShipped int
+	// MaxInFlight is the high-water mark of concurrent DHT operations the
+	// engine had outstanding for this call (1 for fully sequential plans).
+	MaxInFlight int
 }
 
 func (s *OpStats) addLookup(l dht.LookupStats) {
@@ -50,6 +54,15 @@ type chainMsg struct {
 	Origin     dht.NodeInfo
 	Shipped    int // posting entries shipped so far
 	Hops       int
+	// Bytes accumulates the payload bytes shipped along the chain so the
+	// origin can account the matching phase's real traffic (§7 compares
+	// exactly this between the join and InvertedCache plans).
+	Bytes int
+	// Filter, when non-empty, is a marshalled bloom.Filter holding the
+	// intersection of the later keys' posting filters. Step 0 seeds the
+	// candidate stream only with values that pass it, so the chain ships
+	// candidate fileIDs instead of the first full posting list.
+	Filter []byte
 }
 
 // resultMsg carries final join results directly back to the origin node.
@@ -58,6 +71,7 @@ type resultMsg struct {
 	Values  []Value
 	Shipped int
 	Hops    int
+	Bytes   int // chain-internal payload bytes shipped between owners
 	Err     string
 }
 
@@ -117,11 +131,37 @@ type Config struct {
 	// first and execute smallest-first (§5's "optimized to compute smaller
 	// posting lists first"). Disable for the ablation benchmark.
 	OrderBySelectivity bool
+	// Workers bounds how many DHT operations one engine call keeps in
+	// flight at once (PublishBatch fan-out, selectivity probes, the
+	// ChainJoinConcurrent probe phase). 1 means fully sequential; zero
+	// means the default of 8.
+	Workers int
+	// BloomBits and BloomHashes fix the geometry of the posting-list
+	// filters ChainJoinConcurrent intersects for its pre-join. All probes
+	// of one query must agree on geometry, so these are engine-level.
+	// Zero means 8192 bits / 4 hashes (1 KiB per filter).
+	BloomBits   uint64
+	BloomHashes uint32
 }
 
 func (c Config) normalize() Config {
 	if c.ChainTimeout <= 0 {
 		c.ChainTimeout = 30 * time.Second
+	}
+	if c.Workers <= 0 {
+		c.Workers = 8
+	}
+	if c.BloomBits == 0 {
+		c.BloomBits = 8192
+	}
+	if c.BloomBits > maxBloomBits {
+		c.BloomBits = maxBloomBits // owners reject larger probe requests
+	}
+	if c.BloomHashes == 0 {
+		c.BloomHashes = 4
+	}
+	if c.BloomHashes > maxBloomHashes {
+		c.BloomHashes = maxBloomHashes
 	}
 	return c
 }
@@ -149,6 +189,7 @@ func NewEngine(node *dht.Node, cfg Config) *Engine {
 	}
 	node.RegisterApp(appChain, e.handleChain)
 	node.RegisterApp(appCount, e.handleCount)
+	node.RegisterApp(appBloom, e.handleBloom)
 	node.RegisterApp(appCache, e.handleCache)
 	node.RegisterApp(appResult, e.handleResult)
 	return e
@@ -262,7 +303,20 @@ func (e *Engine) ChainJoin(table string, keys []Value, joinCol string, limit int
 		keys = e.orderBySelectivity(table, keys, &stats)
 	}
 
+	msg := chainMsg{
+		Table:   table,
+		JoinCol: joinCol,
+		Keys:    keys,
+		Origin:  e.node.Info(),
+	}
+	return e.dispatchChain(msg, &stats, limit)
+}
+
+// dispatchChain registers a result waiter, ships msg to the owner of the
+// first key, and blocks until the chain's result message (or timeout).
+func (e *Engine) dispatchChain(msg chainMsg, stats *OpStats, limit int) ([]Value, OpStats, error) {
 	qid := e.nextQID.Add(1)
+	msg.QID = qid
 	ch := make(chan resultMsg, 1)
 	e.mu.Lock()
 	e.waiters[qid] = ch
@@ -273,51 +327,53 @@ func (e *Engine) ChainJoin(table string, keys []Value, joinCol string, limit int
 		e.mu.Unlock()
 	}()
 
-	msg := chainMsg{
-		QID:     qid,
-		Table:   table,
-		JoinCol: joinCol,
-		Keys:    keys,
-		Origin:  e.node.Info(),
-	}
-	_, ls, err := e.node.Send(keyID(table, keys[0]), appChain, encode(msg))
+	_, ls, err := e.node.Send(keyID(msg.Table, msg.Keys[0]), appChain, encode(msg))
 	stats.addLookup(ls)
 	if err != nil {
-		return nil, stats, fmt.Errorf("pier: chain dispatch: %w", err)
+		return nil, *stats, fmt.Errorf("pier: chain dispatch: %w", err)
 	}
 
 	select {
 	case res := <-ch:
 		stats.PostingShipped = res.Shipped
 		stats.Hops += res.Hops
+		stats.Bytes += res.Bytes
 		if res.Err != "" {
-			return nil, stats, fmt.Errorf("pier: chain join: %s", res.Err)
+			return nil, *stats, fmt.Errorf("pier: chain join: %s", res.Err)
 		}
 		values := res.Values
 		if limit > 0 && len(values) > limit {
 			values = values[:limit]
 		}
-		return values, stats, nil
+		return values, *stats, nil
 	case <-time.After(e.cfg.ChainTimeout):
-		return nil, stats, fmt.Errorf("pier: chain join %d timed out after %v", qid, e.cfg.ChainTimeout)
+		return nil, *stats, fmt.Errorf("pier: chain join %d timed out after %v", qid, e.cfg.ChainTimeout)
 	}
 }
 
 // orderBySelectivity probes each key's posting-list size and returns keys
-// sorted ascending, so the chain starts with the smallest list.
+// sorted ascending, so the chain starts with the smallest list. Probes are
+// issued with up to cfg.Workers in flight.
 func (e *Engine) orderBySelectivity(table string, keys []Value, stats *OpStats) []Value {
 	type sized struct {
 		key Value
 		n   int
 	}
+	var mu sync.Mutex
 	sizedKeys := make([]sized, len(keys))
-	for i, k := range keys {
-		n, ls, err := e.Count(table, k)
-		stats.addLookup(ls)
+	var g gauge
+	forEach(len(keys), e.cfg.Workers, &g, func(i int) {
+		n, ls, err := e.Count(table, keys[i])
 		if err != nil {
 			n = 1 << 30 // unknown: probe it last
 		}
-		sizedKeys[i] = sized{k, n}
+		mu.Lock()
+		stats.addLookup(ls)
+		mu.Unlock()
+		sizedKeys[i] = sized{keys[i], n}
+	})
+	if g.high() > stats.MaxInFlight {
+		stats.MaxInFlight = g.high()
 	}
 	sort.SliceStable(sizedKeys, func(i, j int) bool { return sizedKeys[i].n < sizedKeys[j].n })
 	out := make([]Value, len(keys))
@@ -335,13 +391,18 @@ func (e *Engine) handleChain(_ dht.NodeInfo, data []byte) []byte {
 	if err != nil {
 		return encode("bad chain message")
 	}
+	if msg.Step > 0 {
+		// Charge this forwarded payload to the chain's byte account. The
+		// origin's dispatch (step 0) is already counted by its own Send.
+		msg.Bytes += len(data)
+	}
 	e.runChainStep(msg)
 	return encode("ok")
 }
 
 func (e *Engine) runChainStep(msg chainMsg) {
 	fail := func(err error) {
-		e.sendResult(msg.Origin, resultMsg{QID: msg.QID, Err: err.Error(), Shipped: msg.Shipped, Hops: msg.Hops})
+		e.sendResult(msg.Origin, resultMsg{QID: msg.QID, Err: err.Error(), Shipped: msg.Shipped, Hops: msg.Hops, Bytes: msg.Bytes})
 	}
 	sch, ok := e.Schema(msg.Table)
 	if !ok {
@@ -360,13 +421,19 @@ func (e *Engine) runChainStep(msg chainMsg) {
 	// list itself seeds the candidates.
 	var survivors []Value
 	if msg.Step == 0 {
+		pre := decodePreJoinFilter(msg.Filter)
 		seen := map[string]bool{}
 		for _, t := range local {
 			v := t[joinIdx]
-			if k := v.Key(); !seen[k] {
-				seen[k] = true
-				survivors = append(survivors, v)
+			k := v.Key()
+			if seen[k] {
+				continue
 			}
+			seen[k] = true
+			if pre != nil && !pre.TestString(k) {
+				continue // cannot be present under every later key
+			}
+			survivors = append(survivors, v)
 		}
 	} else {
 		join := NewSymmetricHashJoin(0, joinIdx)
@@ -391,6 +458,7 @@ func (e *Engine) runChainStep(msg chainMsg) {
 			Values:  survivors,
 			Shipped: msg.Shipped,
 			Hops:    msg.Hops + 1,
+			Bytes:   msg.Bytes,
 		})
 		return
 	}
@@ -398,6 +466,7 @@ func (e *Engine) runChainStep(msg chainMsg) {
 	next := msg
 	next.Step++
 	next.Candidates = survivors
+	next.Filter = nil // only step 0 consults the pre-join filter
 	next.Shipped += len(survivors)
 	next.Hops++
 	if _, _, err := e.node.Send(keyID(msg.Table, msg.Keys[next.Step]), appChain, encode(next)); err != nil {

@@ -1,11 +1,3 @@
-// Package pier implements a relational query processor over a DHT, after
-// PIER (Huebsch et al., VLDB 2003) as used by the paper's PIERSearch. It
-// provides typed tuples and schemas, local relational operators (selection,
-// projection, hash joins, symmetric hash join), and a distributed execution
-// engine: tuples are published into the DHT under an index key, and
-// multi-way equi-joins execute as a chain of symmetric hash joins across the
-// nodes that own each key, exactly the query plan of the paper's Figure 2.
-// The InvertedCache single-site plan of Figure 3 is provided as well.
 package pier
 
 import (

@@ -2,6 +2,7 @@ package piersearch
 
 import (
 	"fmt"
+	"time"
 
 	"piersearch/internal/dht"
 	"piersearch/internal/pier"
@@ -24,10 +25,16 @@ const (
 
 // PublishStats reports the cost of publishing one file.
 type PublishStats struct {
-	Tuples   int // tuples generated (1 Item + one per keyword per layout)
+	Tuples   int // tuples stored (1 Item + one per keyword per layout)
 	Keywords int
 	Messages int
 	Bytes    int // total bytes sent publishing, incl. DHT routing
+	// Wall is the end-to-end wall-clock time of the publish, the latency a
+	// sharing host actually observes.
+	Wall time.Duration
+	// MaxInFlight is the high-water mark of concurrent DHT puts; 1 means
+	// the publish ran fully sequentially.
+	MaxInFlight int
 }
 
 func (s *PublishStats) addLookup(l dht.LookupStats) {
@@ -41,64 +48,83 @@ type Publisher struct {
 	engine    *pier.Engine
 	tokenizer Tokenizer
 	mode      PublishMode
+	workers   int
 }
 
 // NewPublisher creates a publisher. The engine must have the PIERSearch
-// schemas registered (RegisterSchemas).
+// schemas registered (RegisterSchemas). The publish fan-out defaults to
+// the engine's configured worker bound; use WithWorkers to override.
 func NewPublisher(engine *pier.Engine, mode PublishMode, tk Tokenizer) *Publisher {
 	return &Publisher{engine: engine, tokenizer: tk, mode: mode}
 }
 
-// Publish indexes one file: an Item tuple under its fileID and one
-// Inverted/InvertedCache tuple per keyword of its filename.
-func (p *Publisher) Publish(f File) (PublishStats, error) {
+// WithWorkers bounds the number of concurrent DHT puts one PublishFile
+// call keeps in flight (1 = sequential, 0 = engine default) and returns p
+// for chaining.
+func (p *Publisher) WithWorkers(n int) *Publisher {
+	p.workers = n
+	return p
+}
+
+// tuples expands f into its index tuples under the configured mode.
+func (p *Publisher) tuples(f File, keywords []string) []pier.Pub {
+	pubs := make([]pier.Pub, 0, 1+2*len(keywords))
+	pubs = append(pubs, pier.Pub{Table: TableItem, Tuple: f.ItemTuple()})
+	id := f.ID()
+	for _, kw := range keywords {
+		if p.mode == ModeInverted || p.mode == ModeBoth {
+			pubs = append(pubs, pier.Pub{Table: TableInverted,
+				Tuple: pier.Tuple{pier.String(kw), pier.Bytes(id[:])}})
+		}
+		if p.mode == ModeInvertedCache || p.mode == ModeBoth {
+			pubs = append(pubs, pier.Pub{Table: TableInvertedCache,
+				Tuple: pier.Tuple{pier.String(kw), pier.Bytes(id[:]), pier.String(f.Name)}})
+		}
+	}
+	return pubs
+}
+
+// PublishFile indexes one file: an Item tuple under its fileID and one
+// Inverted/InvertedCache tuple per keyword of its filename. All tuples of
+// the file are independent, so they are put into the DHT through a bounded
+// worker pool rather than one at a time.
+func (p *Publisher) PublishFile(f File) (PublishStats, error) {
 	var stats PublishStats
+	start := time.Now()
 	keywords := p.tokenizer.Tokenize(f.Name)
 	if len(keywords) == 0 {
 		return stats, fmt.Errorf("piersearch: %q has no indexable keywords", f.Name)
 	}
 	stats.Keywords = len(keywords)
 
-	ls, err := p.engine.Publish(TableItem, f.ItemTuple())
-	stats.addLookup(ls)
+	res, err := p.engine.PublishBatch(p.tuples(f, keywords), p.workers)
+	stats.addLookup(res.Stats)
+	stats.Tuples = res.Published
+	stats.MaxInFlight = res.MaxInFlight
+	stats.Wall = time.Since(start)
 	if err != nil {
-		return stats, fmt.Errorf("piersearch: publish item: %w", err)
-	}
-	stats.Tuples++
-
-	id := f.ID()
-	for _, kw := range keywords {
-		if p.mode == ModeInverted || p.mode == ModeBoth {
-			ls, err := p.engine.Publish(TableInverted, pier.Tuple{pier.String(kw), pier.Bytes(id[:])})
-			stats.addLookup(ls)
-			if err != nil {
-				return stats, fmt.Errorf("piersearch: publish inverted %q: %w", kw, err)
-			}
-			stats.Tuples++
-		}
-		if p.mode == ModeInvertedCache || p.mode == ModeBoth {
-			ls, err := p.engine.Publish(TableInvertedCache,
-				pier.Tuple{pier.String(kw), pier.Bytes(id[:]), pier.String(f.Name)})
-			stats.addLookup(ls)
-			if err != nil {
-				return stats, fmt.Errorf("piersearch: publish cache %q: %w", kw, err)
-			}
-			stats.Tuples++
-		}
+		return stats, fmt.Errorf("piersearch: publish %q: %w", f.Name, err)
 	}
 	return stats, nil
 }
+
+// Publish is PublishFile under its historical name.
+func (p *Publisher) Publish(f File) (PublishStats, error) { return p.PublishFile(f) }
 
 // PublishAll publishes a batch of files, accumulating stats. It stops at
 // the first error, returning the stats accumulated so far.
 func (p *Publisher) PublishAll(files []File) (PublishStats, error) {
 	var total PublishStats
 	for _, f := range files {
-		s, err := p.Publish(f)
+		s, err := p.PublishFile(f)
 		total.Tuples += s.Tuples
 		total.Keywords += s.Keywords
 		total.Messages += s.Messages
 		total.Bytes += s.Bytes
+		total.Wall += s.Wall
+		if s.MaxInFlight > total.MaxInFlight {
+			total.MaxInFlight = s.MaxInFlight
+		}
 		if err != nil {
 			return total, err
 		}

@@ -3,7 +3,9 @@ package piersearch
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"piersearch/internal/dht"
 	"piersearch/internal/pier"
 )
 
@@ -47,30 +49,64 @@ type SearchStats struct {
 	// excluding the final Item fetches — the quantity §7 compares between
 	// the InvertedCache (~850 B) and distributed-join (~20 KB) plans.
 	MatchBytes int
+	// Wall is the end-to-end wall-clock latency of the query as the user
+	// observes it.
+	Wall time.Duration
+	// MaxInFlight is the high-water mark of concurrent DHT operations
+	// during the query; 1 means the plan executed fully sequentially.
+	MaxInFlight int
 }
 
 // Search answers conjunctive keyword queries against the PIERSearch index.
 type Search struct {
 	engine    *pier.Engine
 	tokenizer Tokenizer
+	workers   int
 }
 
 // NewSearch creates a search engine. The PIER engine must have the
-// PIERSearch schemas registered.
+// PIERSearch schemas registered. The query fan-out defaults to the
+// engine's configured worker bound; use WithWorkers to override.
 func NewSearch(engine *pier.Engine, tk Tokenizer) *Search {
 	return &Search{engine: engine, tokenizer: tk}
 }
 
+// WithWorkers bounds the number of concurrent DHT operations one Query
+// call keeps in flight (1 = sequential, 0 = engine default) and returns s
+// for chaining.
+func (s *Search) WithWorkers(n int) *Search {
+	s.workers = n
+	return s
+}
+
+func (s *Search) effectiveWorkers() int {
+	if s.workers > 0 {
+		return s.workers
+	}
+	return s.engine.Workers()
+}
+
 // Query answers query with the given strategy, returning up to limit
 // results (0 = unlimited). Results are sorted by filename then host for
-// deterministic output.
+// deterministic output. With more than one worker configured, the join
+// plan runs through the engine's concurrent chain join (parallel probes,
+// Bloom pre-join) and the final Item fetches fan out through a bounded
+// worker pool.
 func (s *Search) Query(query string, strategy Strategy, limit int) ([]Result, SearchStats, error) {
+	start := time.Now()
+	results, stats, err := s.run(query, strategy, limit)
+	stats.Wall = time.Since(start)
+	return results, stats, err
+}
+
+func (s *Search) run(query string, strategy Strategy, limit int) ([]Result, SearchStats, error) {
 	stats := SearchStats{Strategy: strategy}
 	keywords := s.tokenizer.Tokenize(query)
 	if len(keywords) == 0 {
 		return nil, stats, fmt.Errorf("piersearch: query %q has no indexable keywords", query)
 	}
 	stats.Keywords = len(keywords)
+	workers := s.effectiveWorkers()
 
 	var fileIDs []pier.Value
 	switch strategy {
@@ -79,12 +115,19 @@ func (s *Search) Query(query string, strategy Strategy, limit int) ([]Result, Se
 		for i, kw := range keywords {
 			keys[i] = pier.String(kw)
 		}
-		values, op, err := s.engine.ChainJoin(TableInverted, keys, "fileID", limit)
+		join := s.engine.ChainJoin
+		if workers > 1 {
+			join = s.engine.ChainJoinConcurrent
+		}
+		values, op, err := join(TableInverted, keys, "fileID", limit)
 		stats.Messages += op.Messages
 		stats.Bytes += op.Bytes
 		stats.MatchBytes += op.Bytes
 		stats.Hops += op.Hops
 		stats.PostingShipped += op.PostingShipped
+		if op.MaxInFlight > stats.MaxInFlight {
+			stats.MaxInFlight = op.MaxInFlight
+		}
 		if err != nil {
 			return nil, stats, err
 		}
@@ -117,27 +160,10 @@ func (s *Search) Query(query string, strategy Strategy, limit int) ([]Result, Se
 	}
 	stats.Matches = len(fileIDs)
 
-	// Final stage of both plans: fetch the Item tuples by fileID.
-	var results []Result
-	for _, idv := range fileIDs {
-		if limit > 0 && len(results) >= limit {
-			break
-		}
-		tuples, ls, err := s.engine.Fetch(TableItem, idv)
-		stats.Messages += ls.Messages
-		stats.Bytes += ls.Bytes
-		stats.Hops += ls.Hops
-		if err != nil {
-			continue // a missing Item (e.g. holder churned out) drops one result
-		}
-		for _, t := range tuples {
-			f, id, err := FileFromItemTuple(t)
-			if err != nil {
-				continue
-			}
-			results = append(results, Result{File: f, FileID: id})
-		}
-	}
+	// Final stage of both plans: fetch the Item tuples by fileID. The
+	// fileID list is already capped at limit by the match phase, and every
+	// fetch is independent, so they run through the worker pool.
+	results := s.fetchItems(fileIDs, workers, limit, &stats)
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].File.Name != results[j].File.Name {
 			return results[i].File.Name < results[j].File.Name
@@ -148,4 +174,44 @@ func (s *Search) Query(query string, strategy Strategy, limit int) ([]Result, Se
 		results = results[:limit]
 	}
 	return results, stats, nil
+}
+
+// fetchItems resolves fileIDs to Item tuples with up to workers concurrent
+// fetches. A missing Item (e.g. holder churned out) drops one result.
+func (s *Search) fetchItems(fileIDs []pier.Value, workers, limit int, stats *SearchStats) []Result {
+	if limit > 0 && len(fileIDs) > limit {
+		fileIDs = fileIDs[:limit]
+	}
+	type fetched struct {
+		tuples []pier.Tuple
+		ls     dht.LookupStats
+		err    error
+	}
+	// Each worker writes a distinct element, so no lock is needed; the
+	// pool's WaitGroup orders the writes before the merge below.
+	out := make([]fetched, len(fileIDs))
+	inFlight := pier.ForEach(len(fileIDs), workers, func(i int) {
+		tuples, ls, err := s.engine.Fetch(TableItem, fileIDs[i])
+		out[i] = fetched{tuples, ls, err}
+	})
+	if inFlight > stats.MaxInFlight {
+		stats.MaxInFlight = inFlight
+	}
+	var results []Result
+	for _, f := range out {
+		stats.Messages += f.ls.Messages
+		stats.Bytes += f.ls.Bytes
+		stats.Hops += f.ls.Hops
+		if f.err != nil {
+			continue
+		}
+		for _, t := range f.tuples {
+			file, id, err := FileFromItemTuple(t)
+			if err != nil {
+				continue
+			}
+			results = append(results, Result{File: file, FileID: id})
+		}
+	}
+	return results
 }

@@ -1,10 +1,3 @@
-// Package piersearch implements the paper's primary contribution:
-// PIERSearch, a keyword search engine for file-sharing built on the PIER
-// distributed query processor (§3). A Publisher turns shared files into
-// Item and Inverted (or InvertedCache) tuples published into the DHT; a
-// Search engine answers conjunctive keyword queries either with the
-// distributed symmetric-hash-join plan of Figure 2 or the single-site
-// InvertedCache plan of Figure 3.
 package piersearch
 
 import (

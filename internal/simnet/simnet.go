@@ -3,8 +3,11 @@
 // node failure, and keeps byte/message accounting so experiments can report
 // bandwidth overheads the way the paper does.
 //
-// The network is single-threaded: all delivery happens inside sim callbacks.
-// Use package wire for the real TCP transport used by the deployment mode.
+// Network is single-threaded: all delivery happens inside sim callbacks.
+// RealTime is the opposite trade — a concurrency-safe dht.Transport that
+// imposes sampled latency in wall-clock time, used to measure how much the
+// concurrent query/publish pipeline overlaps. Use package wire for the
+// real TCP transport used by the deployment mode.
 package simnet
 
 import (

@@ -1,0 +1,136 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"piersearch/internal/dht"
+)
+
+// RealTime is a dht.Transport that delivers RPCs in-process while imposing
+// real wall-clock link latency drawn from a LatencyModel. Unlike Network
+// (discrete-event, single-threaded), RealTime is safe for concurrent
+// callers and actually blocks the calling goroutine, so it is the
+// substrate for measuring what the concurrent query/publish pipeline buys:
+// overlapped calls overlap their latency, sequential calls pay it serially,
+// exactly as over a real wide-area network.
+type RealTime struct {
+	latency LatencyModel
+
+	mu    sync.Mutex // guards rng and nodes
+	rng   *rand.Rand
+	nodes map[string]*dht.Node
+
+	messages atomic.Uint64
+	bytes    atomic.Uint64
+}
+
+// NewRealTime creates a transport with the given latency model (nil means
+// DefaultWideArea). seed drives latency sampling.
+func NewRealTime(latency LatencyModel, seed int64) *RealTime {
+	if latency == nil {
+		latency = DefaultWideArea()
+	}
+	return &RealTime{
+		latency: latency,
+		rng:     rand.New(rand.NewSource(seed)),
+		nodes:   make(map[string]*dht.Node),
+	}
+}
+
+// SetLatency swaps the latency model, e.g. zero while seeding a cluster
+// and wide-area for the measured phase. nil restores DefaultWideArea.
+func (rt *RealTime) SetLatency(m LatencyModel) {
+	if m == nil {
+		m = DefaultWideArea()
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.latency = m
+}
+
+// Join registers n so other nodes can reach it.
+func (rt *RealTime) Join(n *dht.Node) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.nodes[n.Info().Addr] = n
+}
+
+// Remove detaches the node at addr, modelling an abrupt departure.
+func (rt *RealTime) Remove(addr string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.nodes, addr)
+}
+
+// Messages returns the total one-way messages carried (each RPC
+// round-trip counts its request and its response, matching Network's
+// per-message accounting).
+func (rt *RealTime) Messages() uint64 { return rt.messages.Load() }
+
+// Bytes returns the total wire bytes carried (requests plus responses).
+func (rt *RealTime) Bytes() uint64 { return rt.bytes.Load() }
+
+// Call implements dht.Transport: it sleeps a sampled one-way delay, hands
+// the request to the destination node, and sleeps another sampled delay
+// for the response leg.
+func (rt *RealTime) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, error) {
+	rt.mu.Lock()
+	node, ok := rt.nodes[to.Addr]
+	there := rt.latency.Delay(rt.rng)
+	back := rt.latency.Delay(rt.rng)
+	rt.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("simnet: node %s unreachable", to.Addr)
+	}
+	rt.messages.Add(2)
+	rt.bytes.Add(uint64(req.WireSize()))
+
+	time.Sleep(there)
+	resp := node.HandleRPC(req)
+	time.Sleep(back)
+
+	rt.bytes.Add(uint64(resp.WireSize()))
+	return resp, nil
+}
+
+// NewRealTimeCluster builds and bootstraps a DHT of n nodes over a
+// RealTime transport, mirroring dht.NewCluster but with wall-clock link
+// latency. Bootstrap pays real latency, so keep n modest (benchmarks use
+// 12-24 nodes).
+func NewRealTimeCluster(n int, seed int64, cfg dht.Config, latency LatencyModel) (*RealTime, []*dht.Node, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("simnet: cluster size %d must be positive", n)
+	}
+	rt := NewRealTime(latency, seed+1)
+	rng := rand.New(rand.NewSource(seed))
+	nodes := make([]*dht.Node, 0, n)
+	for i := 0; i < n; i++ {
+		info := dht.NodeInfo{ID: dht.SeededID(rng), Addr: fmt.Sprintf("rt-node-%d", i)}
+		node := dht.NewNode(info, rt, cfg)
+		rt.Join(node)
+		nodes = append(nodes, node)
+	}
+	seedInfo := nodes[0].Info()
+	// Bootstrap concurrently: each join is independent and the serial cost
+	// over a latency-bearing network would dominate test time.
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = nodes[i].Bootstrap(seedInfo)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("simnet: bootstrap node %d: %w", i, err)
+		}
+	}
+	return rt, nodes, nil
+}

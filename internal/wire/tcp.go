@@ -9,9 +9,12 @@ import (
 	"piersearch/internal/dht"
 )
 
-// TCPTransport implements dht.Transport over TCP with one pooled
-// connection per destination. It is safe for concurrent use; calls to the
-// same destination serialise on its connection.
+// TCPTransport implements dht.Transport over TCP with a small pool of
+// connections per destination. It is safe for concurrent use: each RPC
+// owns one pooled connection for its round-trip, so up to MaxConnsPerHost
+// calls to the same destination proceed in parallel and further callers
+// queue — the per-connection locking the concurrent query/publish pipeline
+// relies on to overlap wide-area round-trips.
 type TCPTransport struct {
 	DialTimeout time.Duration // default 5s
 	CallTimeout time.Duration // per-RPC deadline, default 10s
@@ -19,14 +22,43 @@ type TCPTransport struct {
 	// for single-machine deployments (the paper's nodes were continents
 	// apart; loopback is not).
 	Delay time.Duration
+	// MaxConnsPerHost bounds the parallel connections kept per
+	// destination. Zero means 4. Set before the first Call.
+	MaxConnsPerHost int
 
 	mu    sync.Mutex
-	conns map[string]*pooledConn
+	conns map[string]*hostPool
 }
 
-type pooledConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+// hostPool is the connection pool for one destination: a semaphore
+// bounding concurrent round-trips plus a free list of idle connections.
+type hostPool struct {
+	sem    chan struct{}
+	mu     sync.Mutex
+	free   []net.Conn
+	closed bool
+}
+
+func (hp *hostPool) get() net.Conn {
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if n := len(hp.free); n > 0 {
+		c := hp.free[n-1]
+		hp.free = hp.free[:n-1]
+		return c
+	}
+	return nil
+}
+
+func (hp *hostPool) put(c net.Conn) {
+	hp.mu.Lock()
+	if hp.closed {
+		hp.mu.Unlock()
+		c.Close()
+		return
+	}
+	hp.free = append(hp.free, c)
+	hp.mu.Unlock()
 }
 
 // NewTCPTransport returns a ready transport.
@@ -34,19 +66,23 @@ func NewTCPTransport() *TCPTransport {
 	return &TCPTransport{
 		DialTimeout: 5 * time.Second,
 		CallTimeout: 10 * time.Second,
-		conns:       make(map[string]*pooledConn),
+		conns:       make(map[string]*hostPool),
 	}
 }
 
-func (t *TCPTransport) pooled(addr string) *pooledConn {
+func (t *TCPTransport) pool(addr string) *hostPool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	pc, ok := t.conns[addr]
+	hp, ok := t.conns[addr]
 	if !ok {
-		pc = &pooledConn{}
-		t.conns[addr] = pc
+		max := t.MaxConnsPerHost
+		if max <= 0 {
+			max = 4
+		}
+		hp = &hostPool{sem: make(chan struct{}, max)}
+		t.conns[addr] = hp
 	}
-	return pc
+	return hp
 }
 
 // Call implements dht.Transport.
@@ -54,60 +90,69 @@ func (t *TCPTransport) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, e
 	if t.Delay > 0 {
 		time.Sleep(t.Delay)
 	}
-	pc := t.pooled(to.Addr)
-	pc.mu.Lock()
-	defer pc.mu.Unlock()
+	hp := t.pool(to.Addr)
+	hp.sem <- struct{}{}
+	defer func() { <-hp.sem }()
 
-	resp, err := t.callOnce(pc, to.Addr, req)
-	if err != nil && pc.conn != nil {
+	conn := hp.get()
+	pooled := conn != nil
+	resp, conn, err := t.callOnce(conn, to.Addr, req)
+	if err != nil && pooled {
 		// Stale pooled connection: retry once on a fresh dial.
-		pc.conn.Close()
-		pc.conn = nil
-		resp, err = t.callOnce(pc, to.Addr, req)
+		if conn != nil {
+			conn.Close()
+		}
+		resp, conn, err = t.callOnce(nil, to.Addr, req)
 	}
 	if err != nil {
-		if pc.conn != nil {
-			pc.conn.Close()
-			pc.conn = nil
+		if conn != nil {
+			conn.Close()
 		}
 		return nil, fmt.Errorf("wire: call %s: %w", to.Addr, err)
 	}
+	hp.put(conn)
 	return resp, nil
 }
 
-func (t *TCPTransport) callOnce(pc *pooledConn, addr string, req *dht.Request) (*dht.Response, error) {
-	if pc.conn == nil {
-		conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+// callOnce performs one framed round-trip, dialing when conn is nil. It
+// returns the connection it used so the caller can pool or close it.
+func (t *TCPTransport) callOnce(conn net.Conn, addr string, req *dht.Request) (*dht.Response, net.Conn, error) {
+	if conn == nil {
+		c, err := net.DialTimeout("tcp", addr, t.DialTimeout)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		pc.conn = conn
+		conn = c
 	}
 	deadline := time.Now().Add(t.CallTimeout)
-	if err := pc.conn.SetDeadline(deadline); err != nil {
-		return nil, err
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, conn, err
 	}
-	if err := WriteFrame(pc.conn, EncodeRequest(req)); err != nil {
-		return nil, err
+	if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
+		return nil, conn, err
 	}
-	payload, err := ReadFrame(pc.conn)
+	payload, err := ReadFrame(conn)
 	if err != nil {
-		return nil, err
+		return nil, conn, err
 	}
-	return DecodeResponse(payload)
+	resp, err := DecodeResponse(payload)
+	return resp, conn, err
 }
 
-// Close drops all pooled connections.
+// Close drops all idle pooled connections and marks the pools closed, so
+// connections currently carrying an RPC are closed when that call finishes
+// instead of being re-pooled.
 func (t *TCPTransport) Close() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for _, pc := range t.conns {
-		pc.mu.Lock()
-		if pc.conn != nil {
-			pc.conn.Close()
-			pc.conn = nil
+	for _, hp := range t.conns {
+		hp.mu.Lock()
+		hp.closed = true
+		for _, c := range hp.free {
+			c.Close()
 		}
-		pc.mu.Unlock()
+		hp.free = nil
+		hp.mu.Unlock()
 	}
 }
 
