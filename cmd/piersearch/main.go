@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"piersearch/internal/dht"
 	"piersearch/internal/pier"
@@ -56,6 +57,8 @@ func main() {
 	srv := wire.NewServer(node, ln)
 	go srv.Serve() //nolint:errcheck // closed below
 	defer srv.Close()
+	stopJanitor := node.StartJanitor(time.Minute) // reclaim TTL'd postings while serving
+	defer stopJanitor()
 	log.Printf("node %s listening on %s", node.Info().ID.Short(), srv.Addr())
 
 	engine := pier.NewEngine(node, pier.Config{OrderBySelectivity: true})

@@ -1,0 +1,152 @@
+package bench
+
+// Gob-vs-codec wire-size comparison. Until PR 2 every engine message was
+// serialized with encoding/gob, one encoder per message, so each chain
+// step, probe, and reply carried a full reflective type preamble on top of
+// per-field tags — overhead sitting directly inside the byte counts §5/§7
+// measure. The mirror structs below reproduce that baseline exactly
+// (same field names and types as the old pier messages, one
+// gob.NewEncoder per message); the codec numbers come from the real
+// encoders via pier.ChainMessageSize / pier.EncodeValueSet.
+//
+// TestCodecByteReduction pins the acceptance number: the binary codec
+// must encode chain messages and posting payloads in at least 30% fewer
+// bytes than the gob baseline at realistic candidate-set sizes.
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/pier"
+)
+
+// gobChainMsg mirrors the pre-PR-2 chainMsg that traveled as gob.
+type gobChainMsg struct {
+	QID        uint64
+	Table      string
+	JoinCol    string
+	Keys       []pier.Value
+	Step       int
+	Candidates []pier.Value
+	Origin     dht.NodeInfo
+	Shipped    int
+	Hops       int
+	Bytes      int
+	Filter     []byte
+}
+
+func gobSize(b testing.TB, v any) int {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Len()
+}
+
+func chainFileID(i int) []byte {
+	var seed [8]byte
+	binary.BigEndian.PutUint64(seed[:], uint64(i))
+	h := sha1.Sum(seed[:])
+	return h[:]
+}
+
+func chainFixture(n int) (keys, candidates []pier.Value, origin dht.NodeInfo) {
+	keys = []pier.Value{pier.String("alpha"), pier.String("beta"), pier.String("gamma")}
+	candidates = make([]pier.Value, n)
+	for i := range candidates {
+		candidates[i] = pier.Bytes(chainFileID(i))
+	}
+	origin = dht.NodeInfo{ID: dht.StringID("origin"), Addr: "10.1.2.3:6346"}
+	return keys, candidates, origin
+}
+
+func gobChainSize(b testing.TB, n int) int {
+	keys, candidates, origin := chainFixture(n)
+	return gobSize(b, gobChainMsg{
+		QID: 1, Table: "Inverted", JoinCol: "fileID", Keys: keys, Step: 1,
+		Candidates: candidates, Origin: origin, Shipped: n, Hops: 1, Bytes: 1 << 12,
+	})
+}
+
+func codecChainSize(n int) int {
+	keys, candidates, origin := chainFixture(n)
+	return pier.ChainMessageSize("Inverted", "fileID", keys, candidates, origin)
+}
+
+// BenchmarkCodecVsGobChainMsg reports the encoded size of one chain-plan
+// message under both wire formats across candidate-set sizes.
+func BenchmarkCodecVsGobChainMsg(b *testing.B) {
+	for _, n := range []int{8, 32, 64, 512} {
+		b.Run(fmt.Sprintf("gob/cands=%d", n), func(b *testing.B) {
+			size := 0
+			for i := 0; i < b.N; i++ {
+				size = gobChainSize(b, n)
+			}
+			b.ReportMetric(float64(size), "encoded-bytes/op")
+		})
+		b.Run(fmt.Sprintf("codec/cands=%d", n), func(b *testing.B) {
+			size := 0
+			for i := 0; i < b.N; i++ {
+				size = codecChainSize(n)
+			}
+			b.ReportMetric(float64(size), "encoded-bytes/op")
+		})
+	}
+}
+
+// BenchmarkCodecVsGobPostings compares a bare posting payload (the fileID
+// set a probe returns or a chain step ships) in both formats.
+func BenchmarkCodecVsGobPostings(b *testing.B) {
+	for _, n := range []int{16, 64, 256} {
+		_, candidates, _ := chainFixture(n)
+		b.Run(fmt.Sprintf("gob/ids=%d", n), func(b *testing.B) {
+			size := 0
+			for i := 0; i < b.N; i++ {
+				size = gobSize(b, candidates)
+			}
+			b.ReportMetric(float64(size), "encoded-bytes/op")
+		})
+		b.Run(fmt.Sprintf("codec/ids=%d", n), func(b *testing.B) {
+			size := 0
+			var dst []byte
+			for i := 0; i < b.N; i++ {
+				dst = pier.EncodeValueSet(dst[:0], candidates)
+				size = len(dst)
+			}
+			b.ReportMetric(float64(size), "encoded-bytes/op")
+		})
+	}
+}
+
+// TestCodecByteReduction is the committed acceptance check: ≥30% fewer
+// encoded bytes than gob for chain messages at realistic candidate-set
+// sizes (the paper's rare-item queries and the Bloom pre-join keep
+// candidate sets in the tens), and for the small probe/reply messages
+// that dominate message counts.
+func TestCodecByteReduction(t *testing.T) {
+	for _, n := range []int{0, 8, 32, 64} {
+		gobBytes := gobChainSize(t, n)
+		codecBytes := codecChainSize(n)
+		reduction := 1 - float64(codecBytes)/float64(gobBytes)
+		t.Logf("chainMsg cands=%-3d gob=%-5d codec=%-5d reduction=%.0f%%", n, gobBytes, codecBytes, reduction*100)
+		if reduction < 0.30 {
+			t.Errorf("cands=%d: codec %d bytes vs gob %d bytes: reduction %.0f%% < 30%%", n, codecBytes, gobBytes, reduction*100)
+		}
+	}
+	// Posting payloads must shrink too (front-coding + no preamble), at
+	// every size, even where gob's preamble is fully amortized.
+	for _, n := range []int{16, 64, 256} {
+		_, candidates, _ := chainFixture(n)
+		gobBytes := gobSize(t, candidates)
+		codecBytes := len(pier.EncodeValueSet(nil, candidates))
+		t.Logf("postings ids=%-3d gob=%-5d codec=%-5d reduction=%.0f%%", n, gobBytes, codecBytes, (1-float64(codecBytes)/float64(gobBytes))*100)
+		if codecBytes >= gobBytes {
+			t.Errorf("ids=%d: codec %d bytes >= gob %d bytes", n, codecBytes, gobBytes)
+		}
+	}
+}

@@ -104,6 +104,38 @@ func (n *Node) StoreStats() (keys, values, bytes int) {
 	return n.store.Len(), n.store.ValueCount(), n.store.Bytes()
 }
 
+// ExpireNow sweeps the local store for TTL-expired values immediately and
+// returns how many were removed.
+func (n *Node) ExpireNow() int {
+	return n.store.Expire(n.info.Clock())
+}
+
+// StartJanitor launches the background soft-state janitor: a ticker that
+// sweeps TTL-expired values out of the local store every interval, so
+// long-running deployments actually reclaim dead postings instead of only
+// filtering them lazily on Get. interval <= 0 defaults to one minute. The
+// returned stop function is idempotent and terminates the janitor.
+func (n *Node) StartJanitor(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				n.ExpireNow()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
 // RegisterApp installs h as the handler for application messages with the
 // given dispatch kind.
 func (n *Node) RegisterApp(kind string, h AppHandler) {

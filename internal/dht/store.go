@@ -20,28 +20,49 @@ func (v StoredValue) expired(now time.Duration) bool {
 	return v.TTL > 0 && now > v.StoredAt+v.TTL
 }
 
-// Store is the node-local key/value store. Values are deduplicated by
-// (publisher, payload) so republishing refreshes rather than duplicates.
-// It is safe for concurrent use: the concurrent query/publish pipeline has
-// many in-flight RPCs reading and writing one node's store at once.
-type Store struct {
+// storeShards is the number of lock shards. Keys are SHA-1-derived, so the
+// leading ID byte is uniform and a power-of-two mask balances the shards.
+const storeShards = 16
+
+// storeShard is one independently locked bucket of the store.
+type storeShard struct {
 	mu     sync.Mutex
 	values map[ID][]StoredValue
 	bytes  int
 }
 
+// Store is the node-local key/value store. Values are deduplicated by
+// (publisher, payload) so republishing refreshes rather than duplicates.
+// It is safe for concurrent use and sharded by ID prefix into
+// independently locked buckets: the concurrent query/publish pipeline has
+// many in-flight RPCs reading and writing one node's store at once, and a
+// single mutex would serialise them all.
+type Store struct {
+	shards [storeShards]storeShard
+}
+
 // NewStore creates an empty store.
 func NewStore() *Store {
-	return &Store{values: make(map[ID][]StoredValue)}
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].values = make(map[ID][]StoredValue)
+	}
+	return s
+}
+
+// shard returns the bucket owning key.
+func (s *Store) shard(key ID) *storeShard {
+	return &s.shards[key[0]&(storeShards-1)]
 }
 
 // Put inserts v under key, replacing an existing value with the same
 // publisher and identical payload (refresh). It reports whether the value
 // was new.
 func (s *Store) Put(key ID, v StoredValue) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	vs := s.values[key]
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	vs := sh.values[key]
 	for i := range vs {
 		if vs[i].Publisher == v.Publisher && string(vs[i].Data) == string(v.Data) {
 			vs[i].StoredAt = v.StoredAt
@@ -49,16 +70,17 @@ func (s *Store) Put(key ID, v StoredValue) bool {
 			return false
 		}
 	}
-	s.values[key] = append(vs, v)
-	s.bytes += len(v.Data)
+	sh.values[key] = append(vs, v)
+	sh.bytes += len(v.Data)
 	return true
 }
 
 // Get returns the live values under key at time now, pruning expired ones.
 func (s *Store) Get(key ID, now time.Duration) []StoredValue {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	vs, ok := s.values[key]
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	vs, ok := sh.values[key]
 	if !ok {
 		return nil
 	}
@@ -67,14 +89,14 @@ func (s *Store) Get(key ID, now time.Duration) []StoredValue {
 		if !v.expired(now) {
 			live = append(live, v)
 		} else {
-			s.bytes -= len(v.Data)
+			sh.bytes -= len(v.Data)
 		}
 	}
 	if len(live) == 0 {
-		delete(s.values, key)
+		delete(sh.values, key)
 		return nil
 	}
-	s.values[key] = live
+	sh.values[key] = live
 	out := make([]StoredValue, len(live))
 	copy(out, live)
 	return out
@@ -82,72 +104,94 @@ func (s *Store) Get(key ID, now time.Duration) []StoredValue {
 
 // Delete removes every value under key.
 func (s *Store) Delete(key ID) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	for _, v := range s.values[key] {
-		s.bytes -= len(v.Data)
+	sh := s.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, v := range sh.values[key] {
+		sh.bytes -= len(v.Data)
 	}
-	delete(s.values, key)
+	delete(sh.values, key)
 }
 
 // Keys returns every key currently present (including ones whose values may
 // all be expired; Get prunes lazily).
 func (s *Store) Keys() []ID {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	keys := make([]ID, 0, len(s.values))
-	for k := range s.values {
-		keys = append(keys, k)
+	var keys []ID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k := range sh.values {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
 	}
 	return keys
 }
 
 // Len returns the number of keys.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.values)
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += len(sh.values)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // ValueCount returns the total number of stored values across keys.
 func (s *Store) ValueCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, vs := range s.values {
-		n += len(vs)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, vs := range sh.values {
+			n += len(vs)
+		}
+		sh.mu.Unlock()
 	}
 	return n
 }
 
 // Bytes returns the approximate payload bytes held.
 func (s *Store) Bytes() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bytes
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.bytes
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Expire removes all values past their TTL at time now and returns how many
-// were removed. Nodes run this periodically.
+// were removed. The sweep locks one shard at a time, so concurrent reads
+// and writes to other shards proceed while it runs; nodes run it
+// periodically (see Node.StartJanitor).
 func (s *Store) Expire(now time.Duration) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	removed := 0
-	for k, vs := range s.values {
-		live := vs[:0]
-		for _, v := range vs {
-			if v.expired(now) {
-				removed++
-				s.bytes -= len(v.Data)
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, vs := range sh.values {
+			live := vs[:0]
+			for _, v := range vs {
+				if v.expired(now) {
+					removed++
+					sh.bytes -= len(v.Data)
+				} else {
+					live = append(live, v)
+				}
+			}
+			if len(live) == 0 {
+				delete(sh.values, k)
 			} else {
-				live = append(live, v)
+				sh.values[k] = live
 			}
 		}
-		if len(live) == 0 {
-			delete(s.values, k)
-		} else {
-			s.values[k] = live
-		}
+		sh.mu.Unlock()
 	}
 	return removed
 }

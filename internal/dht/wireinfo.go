@@ -1,0 +1,29 @@
+package dht
+
+import "piersearch/internal/codec"
+
+// Shared wire forms for the DHT identity types, used by both the RPC
+// codec in package wire and the engine message codec in package pier so
+// the two layers cannot drift apart: an ID travels as its raw 20 bytes, a
+// NodeInfo as raw ID plus length-prefixed address.
+
+// AppendWire appends the ID's wire form (raw bytes, no prefix).
+func (id ID) AppendWire(dst []byte) []byte { return append(dst, id[:]...) }
+
+// ReadID decodes an ID from r.
+func ReadID(r *codec.Reader) ID {
+	var id ID
+	copy(id[:], r.Take(IDBytes))
+	return id
+}
+
+// AppendWire appends the contact's wire form.
+func (n NodeInfo) AppendWire(dst []byte) []byte {
+	dst = n.ID.AppendWire(dst)
+	return codec.AppendString(dst, n.Addr)
+}
+
+// ReadNodeInfo decodes a contact from r.
+func ReadNodeInfo(r *codec.Reader) NodeInfo {
+	return NodeInfo{ID: ReadID(r), Addr: r.String()}
+}

@@ -8,12 +8,12 @@ package pier
 // must return the same answers, only faster.
 
 import (
-	"encoding/gob"
 	"fmt"
 	"sort"
 	"sync"
 
 	"piersearch/internal/bloom"
+	"piersearch/internal/codec"
 	"piersearch/internal/dht"
 )
 
@@ -166,30 +166,28 @@ type bloomReply struct {
 	Err    string
 }
 
-func init() {
-	gob.Register(bloomMsg{})
-	gob.Register(bloomReply{})
-}
-
 func (e *Engine) handleBloom(_ dht.NodeInfo, data []byte) []byte {
-	msg, err := decode[bloomMsg](data)
+	bloomErr := func(msg string) []byte {
+		return encodeBloomReply(nil, &bloomReply{Err: msg})
+	}
+	msg, err := decodeBloomMsg(data)
 	if err != nil {
-		return encode(bloomReply{Err: "bad bloom message"})
+		return bloomErr("bad bloom message")
 	}
 	sch, ok := e.Schema(msg.Table)
 	if !ok {
-		return encode(bloomReply{Err: "unknown table " + msg.Table})
+		return bloomErr("unknown table " + msg.Table)
 	}
 	joinIdx := sch.ColIndex(msg.JoinCol)
 	if joinIdx < 0 {
-		return encode(bloomReply{Err: "no column " + msg.JoinCol})
+		return bloomErr("no column " + msg.JoinCol)
 	}
 	if msg.Bits == 0 || msg.Hashes == 0 || msg.Bits > maxBloomBits || msg.Hashes > maxBloomHashes {
-		return encode(bloomReply{Err: "bad filter geometry"})
+		return bloomErr("bad filter geometry")
 	}
 	tuples, err := e.LocalScan(msg.Table, msg.Key)
 	if err != nil {
-		return encode(bloomReply{Err: err.Error()})
+		return bloomErr(err.Error())
 	}
 	f := bloom.New(msg.Bits, msg.Hashes)
 	for _, t := range tuples {
@@ -197,9 +195,9 @@ func (e *Engine) handleBloom(_ dht.NodeInfo, data []byte) []byte {
 	}
 	raw, err := f.MarshalBinary()
 	if err != nil {
-		return encode(bloomReply{Err: err.Error()})
+		return bloomErr(err.Error())
 	}
-	return encode(bloomReply{Count: len(tuples), Filter: raw})
+	return encodeBloomReply(nil, &bloomReply{Count: len(tuples), Filter: raw})
 }
 
 // decodePreJoinFilter unmarshals a chainMsg pre-join filter, returning nil
@@ -293,14 +291,16 @@ func (e *Engine) probeKeys(table string, keys []Value, joinCol string, stats *Op
 	forEach(len(keys), e.cfg.Workers, &g, func(i int) {
 		probes[i] = keyProbe{key: keys[i], count: 1 << 30} // unknown: order last
 		req := bloomMsg{Table: table, Key: keys[i], JoinCol: joinCol, Bits: e.cfg.BloomBits, Hashes: e.cfg.BloomHashes}
-		reply, ls, err := e.node.Send(keyID(table, keys[i]), appBloom, encode(req))
+		buf := encodeBloomMsg(codec.GetBuf(), &req)
+		reply, ls, err := e.node.Send(keyID(table, keys[i]), appBloom, buf)
+		codec.PutBuf(buf)
 		mu.Lock()
 		stats.addLookup(ls)
 		mu.Unlock()
 		if err != nil {
 			return
 		}
-		br, err := decode[bloomReply](reply)
+		br, err := decodeBloomReply(reply)
 		if err != nil || br.Err != "" {
 			return
 		}

@@ -3,6 +3,8 @@ package pier
 import (
 	"encoding/binary"
 	"fmt"
+
+	"piersearch/internal/codec"
 )
 
 // Kind is the type tag of a Value.
@@ -29,9 +31,11 @@ func (k Kind) String() string {
 	}
 }
 
-// Value is one typed field of a tuple. Fields are exported so values can
-// cross process boundaries via encoding/gob, but use the constructors and
-// accessors rather than touching fields directly.
+// Value is one typed field of a tuple. Values cross process boundaries in
+// the compact binary form of wirefmt.go (internal/codec primitives); the
+// fields stay exported for constructors in other packages and test
+// literals, but use the constructors and accessors rather than touching
+// them directly.
 type Value struct {
 	K Kind
 	S string
@@ -136,7 +140,8 @@ func (t Tuple) Equal(o Tuple) bool {
 	return true
 }
 
-// appendUvarint and friends implement the compact tuple wire format:
+// The tuple wire format, shared with the engine's message codec
+// (wirefmt.go) via the internal/codec primitives:
 //
 //	uvarint(ncols) then per column: kind byte, then
 //	  string/bytes: uvarint(len) payload
@@ -144,19 +149,9 @@ func (t Tuple) Equal(o Tuple) bool {
 
 // Encode appends the tuple's wire form to dst and returns it.
 func (t Tuple) Encode(dst []byte) []byte {
-	dst = binary.AppendUvarint(dst, uint64(len(t)))
+	dst = codec.AppendUvarint(dst, uint64(len(t)))
 	for _, v := range t {
-		dst = append(dst, byte(v.K))
-		switch v.K {
-		case KindString:
-			dst = binary.AppendUvarint(dst, uint64(len(v.S)))
-			dst = append(dst, v.S...)
-		case KindInt:
-			dst = binary.AppendVarint(dst, v.I)
-		case KindBytes:
-			dst = binary.AppendUvarint(dst, uint64(len(v.B)))
-			dst = append(dst, v.B...)
-		}
+		dst = appendValue(dst, v)
 	}
 	return dst
 }
@@ -167,49 +162,23 @@ func (t Tuple) EncodedSize() int {
 }
 
 // DecodeTuple parses one tuple from buf, returning the tuple and the number
-// of bytes consumed.
+// of bytes consumed. Trailing bytes after the tuple are not an error: the
+// caller may be walking a concatenated stream.
 func DecodeTuple(buf []byte) (Tuple, int, error) {
-	n, used := binary.Uvarint(buf)
-	if used <= 0 {
+	r := codec.NewReader(buf)
+	n := r.Uvarint()
+	if r.Err() != nil {
 		return nil, 0, fmt.Errorf("pier: bad tuple header")
 	}
-	if n > 1<<20 {
+	if n > 1<<20 || n > uint64(r.Len()) {
 		return nil, 0, fmt.Errorf("pier: unreasonable column count %d", n)
 	}
-	off := used
 	t := make(Tuple, 0, n)
 	for i := uint64(0); i < n; i++ {
-		if off >= len(buf) {
-			return nil, 0, fmt.Errorf("pier: truncated tuple")
-		}
-		kind := Kind(buf[off])
-		off++
-		switch kind {
-		case KindString, KindBytes:
-			l, used := binary.Uvarint(buf[off:])
-			if used <= 0 || off+used+int(l) > len(buf) {
-				return nil, 0, fmt.Errorf("pier: truncated %s column", kind)
-			}
-			off += used
-			payload := buf[off : off+int(l)]
-			off += int(l)
-			if kind == KindString {
-				t = append(t, String(string(payload)))
-			} else {
-				b := make([]byte, len(payload))
-				copy(b, payload)
-				t = append(t, Bytes(b))
-			}
-		case KindInt:
-			v, used := binary.Varint(buf[off:])
-			if used <= 0 {
-				return nil, 0, fmt.Errorf("pier: truncated int column")
-			}
-			off += used
-			t = append(t, Int(v))
-		default:
-			return nil, 0, fmt.Errorf("pier: unknown kind %d", kind)
+		t = append(t, readValue(r))
+		if err := r.Err(); err != nil {
+			return nil, 0, fmt.Errorf("pier: truncated tuple: %w", err)
 		}
 	}
-	return t, off, nil
+	return t, len(buf) - r.Len(), nil
 }

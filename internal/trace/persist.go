@@ -3,37 +3,215 @@ package trace
 import (
 	"bufio"
 	"compress/gzip"
-	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+
+	"piersearch/internal/codec"
 )
 
 // Persistence: traces are expensive to generate at paper scale and
 // experiments should be replayable bit-for-bit, so a generated workload can
-// be written to disk and reloaded. The format is gzip-compressed gob of
-// the files and queries plus the generating config.
+// be written to disk and reloaded. The format is a gzip-compressed binary
+// stream built on internal/codec (magic, version byte, varint/front-coded
+// fields) with a shared term dictionary: filenames and query texts are
+// joins over their term lists, so files and queries store dictionary
+// indices and a one-byte "derived" flag instead of repeating strings. The
+// v1 format was gob; v2 is both smaller and free of reflection.
 
-// persisted is the on-disk form.
-type persisted struct {
-	Version int
-	Cfg     Config
-	Files   []DistinctFile
-	Queries []Query
+const (
+	persistMagic   = "PTRC"
+	persistVersion = 2
+)
+
+// nameDerived / nameExplicit flag whether a file or query's display string
+// equals the canonical join of its terms (the generator always produces
+// derived names; hand-built traces may not).
+const (
+	nameDerived  = 0
+	nameExplicit = 1
+)
+
+// derivedFileName is the generator's filename form (must stay byte-equal
+// to Generate's name construction for the nameDerived flag to hold).
+func derivedFileName(terms []string) string { return joinTerms(terms) + ".mp3" }
+
+func joinTerms(terms []string) string { return strings.Join(terms, " ") }
+
+// appendName writes the derived-or-explicit string encoding.
+func appendName(dst []byte, name, derived string) []byte {
+	if name == derived {
+		return append(dst, nameDerived)
+	}
+	dst = append(dst, nameExplicit)
+	return codec.AppendString(dst, name)
 }
 
-const persistVersion = 1
+func readName(r *codec.Reader, derived string) string {
+	switch r.Byte() {
+	case nameDerived:
+		return derived
+	case nameExplicit:
+		return r.String()
+	default:
+		r.Fail("trace: bad name flag")
+		return ""
+	}
+}
+
+// appendConfig writes cfg in fixed field order.
+func appendConfig(dst []byte, c Config) []byte {
+	dst = codec.AppendVarint(dst, int64(c.DistinctFiles))
+	dst = codec.AppendVarint(dst, int64(c.TargetCopies))
+	dst = codec.AppendFloat64(dst, c.SingletonFrac)
+	dst = codec.AppendVarint(dst, int64(c.Hosts))
+	dst = codec.AppendVarint(dst, int64(c.Vocabulary))
+	dst = codec.AppendFloat64(dst, c.TermZipfS)
+	dst = codec.AppendVarint(dst, int64(c.Queries))
+	dst = codec.AppendFloat64(dst, c.RareQueryFrac)
+	dst = codec.AppendVarint(dst, int64(c.MinTermsPerFile))
+	dst = codec.AppendVarint(dst, int64(c.MaxTermsPerFile))
+	return codec.AppendVarint(dst, c.Seed)
+}
+
+func readConfig(r *codec.Reader) Config {
+	return Config{
+		DistinctFiles:   int(r.Varint()),
+		TargetCopies:    int(r.Varint()),
+		SingletonFrac:   r.Float64(),
+		Hosts:           int(r.Varint()),
+		Vocabulary:      int(r.Varint()),
+		TermZipfS:       r.Float64(),
+		Queries:         int(r.Varint()),
+		RareQueryFrac:   r.Float64(),
+		MinTermsPerFile: int(r.Varint()),
+		MaxTermsPerFile: int(r.Varint()),
+		Seed:            r.Varint(),
+	}
+}
+
+// encode serialises the trace (pre-gzip).
+func (tr *Trace) encode() []byte {
+	// Build the term dictionary in first-appearance order.
+	index := make(map[string]uint64)
+	var dict []string
+	intern := func(terms []string) {
+		for _, t := range terms {
+			if _, ok := index[t]; !ok {
+				index[t] = uint64(len(dict))
+				dict = append(dict, t)
+			}
+		}
+	}
+	for _, f := range tr.Files {
+		intern(f.Terms)
+	}
+	for _, q := range tr.Queries {
+		intern(q.Terms)
+	}
+
+	buf := append(codec.GetBuf(), persistMagic...)
+	buf = append(buf, persistVersion)
+	buf = appendConfig(buf, tr.Cfg)
+
+	buf = codec.AppendUvarint(buf, uint64(len(dict)))
+	for _, t := range dict {
+		buf = codec.AppendString(buf, t)
+	}
+
+	appendTerms := func(dst []byte, terms []string) []byte {
+		dst = codec.AppendUvarint(dst, uint64(len(terms)))
+		for _, t := range terms {
+			dst = codec.AppendUvarint(dst, index[t])
+		}
+		return dst
+	}
+
+	buf = codec.AppendUvarint(buf, uint64(len(tr.Files)))
+	for _, f := range tr.Files {
+		buf = appendTerms(buf, f.Terms)
+		buf = codec.AppendVarint(buf, int64(f.Replicas))
+		buf = appendName(buf, f.Name, derivedFileName(f.Terms))
+	}
+	buf = codec.AppendUvarint(buf, uint64(len(tr.Queries)))
+	for _, q := range tr.Queries {
+		buf = appendTerms(buf, q.Terms)
+		buf = codec.AppendVarint(buf, int64(q.TargetRank))
+		buf = appendName(buf, q.Text, joinTerms(q.Terms))
+	}
+	return buf
+}
+
+// decode parses an encode stream.
+func decode(data []byte) (*Trace, error) {
+	r := codec.NewReader(data)
+	if string(r.Take(len(persistMagic))) != persistMagic {
+		if r.Err() == nil {
+			r.Fail("trace: bad magic")
+		}
+		return nil, r.Err()
+	}
+	if v := r.Byte(); r.Err() == nil && v != persistVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	tr := &Trace{Cfg: readConfig(r)}
+
+	nDict := r.Count()
+	dict := make([]string, 0, nDict)
+	for i := 0; i < nDict && r.Err() == nil; i++ {
+		dict = append(dict, r.String())
+	}
+
+	readTerms := func() []string {
+		n := r.Count()
+		if r.Err() != nil {
+			return nil
+		}
+		terms := make([]string, 0, n)
+		for i := 0; i < n; i++ {
+			idx := r.Uvarint()
+			if r.Err() != nil {
+				return nil
+			}
+			if idx >= uint64(len(dict)) {
+				r.Fail("trace: term index out of range")
+				return nil
+			}
+			terms = append(terms, dict[idx])
+		}
+		return terms
+	}
+
+	nFiles := r.Count()
+	tr.Files = make([]DistinctFile, 0, nFiles)
+	for i := 0; i < nFiles && r.Err() == nil; i++ {
+		terms := readTerms()
+		replicas := int(r.Varint())
+		name := readName(r, derivedFileName(terms))
+		tr.Files = append(tr.Files, DistinctFile{Name: name, Terms: terms, Replicas: replicas})
+	}
+	nQueries := r.Count()
+	tr.Queries = make([]Query, 0, nQueries)
+	for i := 0; i < nQueries && r.Err() == nil; i++ {
+		terms := readTerms()
+		rank := int(r.Varint())
+		text := readName(r, joinTerms(terms))
+		tr.Queries = append(tr.Queries, Query{Text: text, Terms: terms, TargetRank: rank})
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	return tr, nil
+}
 
 // Save writes the trace to w.
 func (tr *Trace) Save(w io.Writer) error {
 	zw := gzip.NewWriter(w)
-	enc := gob.NewEncoder(zw)
-	if err := enc.Encode(persisted{
-		Version: persistVersion,
-		Cfg:     tr.Cfg,
-		Files:   tr.Files,
-		Queries: tr.Queries,
-	}); err != nil {
+	buf := tr.encode()
+	_, err := zw.Write(buf)
+	codec.PutBuf(buf)
+	if err != nil {
 		return fmt.Errorf("trace: encode: %w", err)
 	}
 	return zw.Close()
@@ -67,18 +245,18 @@ func Load(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: open: %w", err)
 	}
 	defer zr.Close()
-	var p persisted
-	if err := gob.NewDecoder(zr).Decode(&p); err != nil {
-		return nil, fmt.Errorf("trace: decode: %w", err)
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
 	}
-	if p.Version != persistVersion {
-		return nil, fmt.Errorf("trace: unsupported version %d", p.Version)
+	tr, err := decode(data)
+	if err != nil {
+		return nil, err
 	}
-	if len(p.Files) == 0 {
+	if len(tr.Files) == 0 {
 		return nil, fmt.Errorf("trace: empty file set")
 	}
-	tr := &Trace{Cfg: p.Cfg, Files: p.Files, Queries: p.Queries}
-	tr.rng = newRNG(p.Cfg.Seed)
+	tr.rng = newRNG(tr.Cfg.Seed)
 	return tr, nil
 }
 

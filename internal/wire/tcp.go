@@ -1,11 +1,13 @@
 package wire
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"sync"
 	"time"
 
+	"piersearch/internal/codec"
 	"piersearch/internal/dht"
 )
 
@@ -26,8 +28,11 @@ type TCPTransport struct {
 	// destination. Zero means 4. Set before the first Call.
 	MaxConnsPerHost int
 
-	mu    sync.Mutex
-	conns map[string]*hostPool
+	mu         sync.Mutex
+	conns      map[string]*hostPool
+	closed     bool
+	dialCtx    context.Context    // canceled by Close, aborting in-flight dials
+	dialCancel context.CancelFunc // lazily created with dialCtx
 }
 
 // hostPool is the connection pool for one destination: a semaphore
@@ -70,9 +75,12 @@ func NewTCPTransport() *TCPTransport {
 	}
 }
 
-func (t *TCPTransport) pool(addr string) *hostPool {
+func (t *TCPTransport) pool(addr string) (*hostPool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("wire: transport closed")
+	}
 	hp, ok := t.conns[addr]
 	if !ok {
 		max := t.MaxConnsPerHost
@@ -82,7 +90,22 @@ func (t *TCPTransport) pool(addr string) *hostPool {
 		hp = &hostPool{sem: make(chan struct{}, max)}
 		t.conns[addr] = hp
 	}
-	return hp
+	return hp, nil
+}
+
+// dialContext returns the context that aborts in-flight dials on Close,
+// creating it on first use. If Close already ran, the context comes back
+// canceled, so a Call racing Close cannot start an uncancelable dial.
+func (t *TCPTransport) dialContext() context.Context {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dialCtx == nil {
+		t.dialCtx, t.dialCancel = context.WithCancel(context.Background())
+		if t.closed {
+			t.dialCancel()
+		}
+	}
+	return t.dialCtx
 }
 
 // Call implements dht.Transport.
@@ -90,7 +113,10 @@ func (t *TCPTransport) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, e
 	if t.Delay > 0 {
 		time.Sleep(t.Delay)
 	}
-	hp := t.pool(to.Addr)
+	hp, err := t.pool(to.Addr)
+	if err != nil {
+		return nil, err
+	}
 	hp.sem <- struct{}{}
 	defer func() { <-hp.sem }()
 
@@ -118,7 +144,8 @@ func (t *TCPTransport) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, e
 // returns the connection it used so the caller can pool or close it.
 func (t *TCPTransport) callOnce(conn net.Conn, addr string, req *dht.Request) (*dht.Response, net.Conn, error) {
 	if conn == nil {
-		c, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+		d := net.Dialer{Timeout: t.DialTimeout}
+		c, err := d.DialContext(t.dialContext(), "tcp", addr)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -136,15 +163,21 @@ func (t *TCPTransport) callOnce(conn net.Conn, addr string, req *dht.Request) (*
 		return nil, conn, err
 	}
 	resp, err := DecodeResponse(payload)
+	codec.PutBuf(payload) // decode copies what it keeps
 	return resp, conn, err
 }
 
-// Close drops all idle pooled connections and marks the pools closed, so
+// Close shuts the transport down: it aborts in-flight dials, drops and
+// closes all idle pooled connections, marks the pools closed so
 // connections currently carrying an RPC are closed when that call finishes
-// instead of being re-pooled.
+// instead of being re-pooled, and fails all future Calls.
 func (t *TCPTransport) Close() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	t.closed = true
+	if t.dialCancel != nil {
+		t.dialCancel()
+	}
 	for _, hp := range t.conns {
 		hp.mu.Lock()
 		hp.closed = true
@@ -230,6 +263,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		req, err := DecodeRequest(payload)
+		codec.PutBuf(payload) // decode copies what it keeps
 		if err != nil {
 			return
 		}

@@ -1,17 +1,18 @@
 // Package wire provides the real-network transport for the DHT: a compact
-// binary codec for the Kademlia RPCs and a length-prefixed TCP transport.
-// The paper's deployment ran PIER over wide-area PlanetLab links; this
-// package lets the same Node/Engine/PIERSearch code run over TCP sockets
+// binary codec for the Kademlia RPCs (built on the shared primitives in
+// internal/codec) and a length-prefixed TCP transport. The paper's
+// deployment ran PIER over wide-area PlanetLab links; this package lets
+// the same Node/Engine/PIERSearch code run over TCP sockets
 // (cmd/piersearch, cmd/deploy) instead of the in-process simulated network.
 package wire
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
 	"io"
 	"time"
 
+	"piersearch/internal/codec"
 	"piersearch/internal/dht"
 )
 
@@ -19,21 +20,41 @@ import (
 // or hostile length prefixes.
 const MaxFrame = 16 << 20
 
-// WriteFrame writes one length-prefixed frame.
+// coalesceFrameLimit bounds the payload size WriteFrame copies into one
+// pooled buffer: below it the copy is cheaper than a second
+// syscall/segment; above it (big posting sets, value transfers) the copy
+// would cost a fresh multi-MB allocation, so header and payload go out as
+// two writes.
+const coalesceFrameLimit = 4 << 10
+
+// WriteFrame writes one length-prefixed frame. Small frames are assembled
+// in a pooled scratch buffer and written with a single Write (one syscall,
+// one TCP segment); large frames are written header-then-payload.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(payload))
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if len(payload) > coalesceFrameLimit {
+		if _, err := w.Write(hdr[:]); err != nil {
+			return err
+		}
+		_, err := w.Write(payload)
 		return err
 	}
-	_, err := w.Write(payload)
+	buf := append(codec.GetBuf(), hdr[:]...)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	codec.PutBuf(buf)
 	return err
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame into a buffer drawn from the
+// shared codec pool. Callers that fully decode the frame should hand the
+// buffer back with codec.PutBuf (the request/response decoders copy every
+// field they keep); retaining it instead is also safe, it just forgoes
+// reuse.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -43,8 +64,14 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > MaxFrame {
 		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
 	}
-	payload := make([]byte, n)
+	payload := codec.GetBuf()
+	if cap(payload) < int(n) {
+		payload = make([]byte, n)
+	} else {
+		payload = payload[:n]
+	}
 	if _, err := io.ReadFull(r, payload); err != nil {
+		codec.PutBuf(payload)
 		return nil, err
 	}
 	return payload, nil
@@ -52,200 +79,100 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 
 // --- codec -----------------------------------------------------------------
 
-type writer struct{ buf []byte }
+// The RPC formats reuse the shared append/Reader primitives and the
+// identity wire forms on dht.ID/dht.NodeInfo; only the stored-value
+// composite lives here.
 
-func (w *writer) byte(b byte)      { w.buf = append(w.buf, b) }
-func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
-func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
-func (w *writer) bytes(b []byte) {
-	w.uvarint(uint64(len(b)))
-	w.buf = append(w.buf, b...)
-}
-func (w *writer) str(s string) {
-	w.uvarint(uint64(len(s)))
-	w.buf = append(w.buf, s...)
-}
-func (w *writer) id(id dht.ID) { w.buf = append(w.buf, id[:]...) }
-func (w *writer) info(n dht.NodeInfo) {
-	w.id(n.ID)
-	w.str(n.Addr)
+func appendValue(dst []byte, v dht.StoredValue) []byte {
+	dst = codec.AppendBytes(dst, v.Data)
+	dst = v.Publisher.AppendWire(dst)
+	dst = codec.AppendVarint(dst, int64(v.StoredAt))
+	return codec.AppendVarint(dst, int64(v.TTL))
 }
 
-type reader struct {
-	buf []byte
-	err error
-}
-
-func (r *reader) fail(msg string) {
-	if r.err == nil {
-		r.err = errors.New("wire: " + msg)
-	}
-}
-
-func (r *reader) byte() byte {
-	if r.err != nil || len(r.buf) < 1 {
-		r.fail("truncated byte")
-		return 0
-	}
-	b := r.buf[0]
-	r.buf = r.buf[1:]
-	return b
-}
-
-func (r *reader) uvarint() uint64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Uvarint(r.buf)
-	if n <= 0 {
-		r.fail("bad uvarint")
-		return 0
-	}
-	r.buf = r.buf[n:]
-	return v
-}
-
-func (r *reader) varint() int64 {
-	if r.err != nil {
-		return 0
-	}
-	v, n := binary.Varint(r.buf)
-	if n <= 0 {
-		r.fail("bad varint")
-		return 0
-	}
-	r.buf = r.buf[n:]
-	return v
-}
-
-func (r *reader) bytes() []byte {
-	n := r.uvarint()
-	if r.err != nil || uint64(len(r.buf)) < n {
-		r.fail("truncated bytes")
-		return nil
-	}
-	out := make([]byte, n)
-	copy(out, r.buf[:n])
-	r.buf = r.buf[n:]
-	return out
-}
-
-func (r *reader) str() string { return string(r.bytes()) }
-
-func (r *reader) id() dht.ID {
-	var id dht.ID
-	if r.err != nil || len(r.buf) < dht.IDBytes {
-		r.fail("truncated id")
-		return id
-	}
-	copy(id[:], r.buf[:dht.IDBytes])
-	r.buf = r.buf[dht.IDBytes:]
-	return id
-}
-
-func (r *reader) info() dht.NodeInfo {
-	return dht.NodeInfo{ID: r.id(), Addr: r.str()}
-}
-
-func writeValue(w *writer, v dht.StoredValue) {
-	w.bytes(v.Data)
-	w.id(v.Publisher)
-	w.varint(int64(v.StoredAt))
-	w.varint(int64(v.TTL))
-}
-
-func readStored(r *reader) dht.StoredValue {
+func readStored(r *codec.Reader) dht.StoredValue {
 	return dht.StoredValue{
-		Data:      r.bytes(),
-		Publisher: r.id(),
-		StoredAt:  time.Duration(r.varint()),
-		TTL:       time.Duration(r.varint()),
+		Data:      r.Bytes(),
+		Publisher: dht.ReadID(r),
+		StoredAt:  time.Duration(r.Varint()),
+		TTL:       time.Duration(r.Varint()),
 	}
 }
 
 // EncodeRequest serialises a DHT request.
 func EncodeRequest(req *dht.Request) []byte {
-	w := &writer{buf: make([]byte, 0, 64+len(req.Data)+len(req.Value.Data))}
-	w.byte(byte(req.Kind))
-	w.info(req.From)
-	w.id(req.Target)
+	buf := make([]byte, 0, 64+len(req.Data)+len(req.Value.Data))
+	buf = append(buf, byte(req.Kind))
+	buf = req.From.AppendWire(buf)
+	buf = req.Target.AppendWire(buf)
 	hasValue := byte(0)
 	if len(req.Value.Data) > 0 || !req.Value.Publisher.IsZero() {
 		hasValue = 1
 	}
-	w.byte(hasValue)
+	buf = append(buf, hasValue)
 	if hasValue == 1 {
-		writeValue(w, req.Value)
+		buf = appendValue(buf, req.Value)
 	}
-	w.str(req.App)
-	w.bytes(req.Data)
-	return w.buf
+	buf = codec.AppendString(buf, req.App)
+	return codec.AppendBytes(buf, req.Data)
 }
 
-// DecodeRequest parses a DHT request.
+// DecodeRequest parses a DHT request. Every retained field is copied out
+// of buf, so the caller may recycle buf afterwards.
 func DecodeRequest(buf []byte) (*dht.Request, error) {
-	r := &reader{buf: buf}
+	r := codec.NewReader(buf)
 	req := &dht.Request{
-		Kind:   dht.RPCKind(r.byte()),
-		From:   r.info(),
-		Target: r.id(),
+		Kind:   dht.RPCKind(r.Byte()),
+		From:   dht.ReadNodeInfo(r),
+		Target: dht.ReadID(r),
 	}
-	if r.byte() == 1 {
+	if r.Byte() == 1 {
 		req.Value = readStored(r)
 	}
-	req.App = r.str()
-	req.Data = r.bytes()
-	if r.err == nil && len(r.buf) != 0 {
-		r.fail("trailing request bytes")
-	}
-	return req, r.err
+	req.App = r.String()
+	req.Data = r.Bytes()
+	return req, r.Finish()
 }
 
 // EncodeResponse serialises a DHT response.
 func EncodeResponse(resp *dht.Response) []byte {
-	w := &writer{buf: make([]byte, 0, 64+len(resp.Data))}
+	buf := make([]byte, 0, 64+len(resp.Data))
 	flags := byte(0)
 	if resp.OK {
 		flags |= 1
 	}
-	w.byte(flags)
-	w.info(resp.From)
-	w.uvarint(uint64(len(resp.Closest)))
+	buf = append(buf, flags)
+	buf = resp.From.AppendWire(buf)
+	buf = codec.AppendUvarint(buf, uint64(len(resp.Closest)))
 	for _, c := range resp.Closest {
-		w.info(c)
+		buf = c.AppendWire(buf)
 	}
-	w.uvarint(uint64(len(resp.Values)))
+	buf = codec.AppendUvarint(buf, uint64(len(resp.Values)))
 	for _, v := range resp.Values {
-		writeValue(w, v)
+		buf = appendValue(buf, v)
 	}
-	w.bytes(resp.Data)
-	return w.buf
+	return codec.AppendBytes(buf, resp.Data)
 }
 
-// DecodeResponse parses a DHT response.
+// DecodeResponse parses a DHT response. Every retained field is copied out
+// of buf, so the caller may recycle buf afterwards.
 func DecodeResponse(buf []byte) (*dht.Response, error) {
-	r := &reader{buf: buf}
+	r := codec.NewReader(buf)
 	resp := &dht.Response{}
-	flags := r.byte()
+	flags := r.Byte()
 	resp.OK = flags&1 != 0
-	resp.From = r.info()
-	nClosest := r.uvarint()
+	resp.From = dht.ReadNodeInfo(r)
+	nClosest := r.Count()
 	if nClosest > 1<<16 {
-		r.fail("unreasonable contact count")
+		r.Fail("unreasonable contact count")
 	}
-	for i := uint64(0); i < nClosest && r.err == nil; i++ {
-		resp.Closest = append(resp.Closest, r.info())
+	for i := 0; i < nClosest && r.Err() == nil; i++ {
+		resp.Closest = append(resp.Closest, dht.ReadNodeInfo(r))
 	}
-	nValues := r.uvarint()
-	if nValues > 1<<20 {
-		r.fail("unreasonable value count")
-	}
-	for i := uint64(0); i < nValues && r.err == nil; i++ {
+	nValues := r.Count()
+	for i := 0; i < nValues && r.Err() == nil; i++ {
 		resp.Values = append(resp.Values, readStored(r))
 	}
-	resp.Data = r.bytes()
-	if r.err == nil && len(r.buf) != 0 {
-		r.fail("trailing response bytes")
-	}
-	return resp, r.err
+	resp.Data = r.Bytes()
+	return resp, r.Finish()
 }
