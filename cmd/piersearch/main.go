@@ -16,6 +16,8 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -105,14 +107,31 @@ func main() {
 		if *strategy == "join" {
 			strat = piersearch.StrategyJoin
 		}
-		results, stats, err := piersearch.NewSearch(engine, piersearch.Tokenizer{}).Query(*search, strat, 50)
+		// Ctrl-C cancels the in-flight wide-area query; results stream as
+		// they arrive instead of materializing at the end.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		rs, err := piersearch.NewSearch(engine, piersearch.Tokenizer{}).
+			QueryContext(ctx, piersearch.Query{Text: *search, Strategy: strat, Limit: 50})
 		if err != nil {
 			log.Fatalf("search: %v", err)
 		}
-		fmt.Printf("%d results for %q (%v, %d msgs, %d bytes):\n", len(results), *search, strat, stats.Messages, stats.Bytes)
-		for _, r := range results {
+		n := 0
+		for {
+			r, err := rs.Next()
+			if errors.Is(err, piersearch.ErrDone) {
+				break
+			}
+			if err != nil {
+				rs.Close()
+				log.Fatalf("search: %v", err)
+			}
+			n++
 			fmt.Printf("  %-50s %10d bytes  %s:%d\n", r.File.Name, r.File.Size, r.File.Host, r.File.Port)
 		}
+		stats := rs.Stats()
+		rs.Close()
+		fmt.Printf("%d results for %q (%v, %d msgs, %d bytes)\n", n, *search, strat, stats.Messages, stats.Bytes)
 	}
 
 	if *daemon {

@@ -1,12 +1,17 @@
 // Quickstart: build an in-process PIERSearch network, publish a few files
-// and run keyword queries with both query plans.
+// and run keyword queries with both query plans through the streaming
+// plan API — results arrive incrementally and a context cancels or
+// deadlines the whole wide-area query.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
+	"time"
 
 	"piersearch/internal/dht"
 	"piersearch/internal/pier"
@@ -47,19 +52,48 @@ func main() {
 		fmt.Printf("published %-42q  %d tuples, %4.1f KB\n", f.Name, stats.Tuples, float64(stats.Bytes)/1024)
 	}
 
-	// 4. Query from yet another node, with both §3.2 plans.
+	// 4. Query from yet another node, with both §3.2 plans, through the
+	// streaming API: every query runs under a deadline, and results print
+	// as the plan produces them instead of after the full drain.
 	search := piersearch.NewSearch(engines[20], piersearch.Tokenizer{})
 	for _, q := range []string{"madonna prayer", "basement demo", "madonna"} {
 		for _, strat := range []piersearch.Strategy{piersearch.StrategyJoin, piersearch.StrategyCache} {
-			results, stats, err := search.Query(q, strat, 0)
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			rs, err := search.QueryContext(ctx, piersearch.Query{Text: q, Strategy: strat})
 			if err != nil {
+				cancel()
 				log.Fatal(err)
 			}
-			fmt.Printf("\n%q via %v: %d results (%d msgs, %.1f KB)\n",
-				q, strat, len(results), stats.Messages, float64(stats.Bytes)/1024)
-			for _, r := range results {
+			fmt.Printf("\n%q via %v:\n", q, strat)
+			n := 0
+			for {
+				r, err := rs.Next()
+				if errors.Is(err, piersearch.ErrDone) {
+					break
+				}
+				if err != nil {
+					log.Fatal(err) // a canceled query would match plan.ErrCanceled here
+				}
+				n++
 				fmt.Printf("  %-42s %s:%d\n", r.File.Name, r.File.Host, r.File.Port)
 			}
+			stats := rs.Stats()
+			rs.Close()
+			cancel()
+			fmt.Printf("  -> %d results (%d msgs, %.1f KB)\n", n, stats.Messages, float64(stats.Bytes)/1024)
 		}
 	}
+
+	// 5. Early termination: ask for one result and cancel the rest of the
+	// work — the stream stops fetching items once the limit is reached.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rs, err := search.QueryContext(ctx, piersearch.Query{Text: "madonna", Strategy: piersearch.StrategyJoin, Limit: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if r, err := rs.Next(); err == nil {
+		fmt.Printf("\nfirst madonna hit, then stop: %s (%s)\n", r.File.Name, r.File.Host)
+	}
+	rs.Close()
 }

@@ -7,8 +7,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"piersearch/internal/dht"
 	"piersearch/internal/gnutella"
@@ -85,7 +87,17 @@ func main() {
 			out.Source, out.Results, out.FirstLatency)
 	}
 
-	out, err := hybrids[0].Query(popular.Text, popular.Terms)
+	// Each hybrid query runs under its own deadline: the PIERSearch
+	// reissue (the wide-area leg) is cancelable/deadlined, so an
+	// impatient client can give up without leaking the in-flight DHT
+	// work.
+	queryWithDeadline := func(q trace.Query) (hybrid.Outcome, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return hybrids[0].QueryContext(ctx, q.Text, q.Terms)
+	}
+
+	out, err := queryWithDeadline(popular)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -97,7 +109,7 @@ func main() {
 		if tr.Files[q.TargetRank].Replicas > 2 {
 			continue
 		}
-		out, err := hybrids[0].Query(q.Text, q.Terms)
+		out, err := queryWithDeadline(q)
 		if err != nil {
 			log.Fatal(err)
 		}

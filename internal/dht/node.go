@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -163,10 +164,30 @@ func (n *Node) observe(peer NodeInfo) {
 
 // call issues one RPC and accounts for routing-table maintenance.
 func (n *Node) call(to NodeInfo, req *Request) (*Response, error) {
+	return n.callCtx(context.Background(), to, req)
+}
+
+// callCtx issues one RPC under ctx. When the transport supports contexts
+// the call is canceled/deadlined in flight; otherwise the context is
+// checked at the boundary so a canceled caller at least stops issuing new
+// RPCs. A context-canceled call does not evict the contact: the peer is
+// not known dead, the caller just stopped waiting.
+func (n *Node) callCtx(ctx context.Context, to NodeInfo, req *Request) (*Response, error) {
 	req.From = n.self
-	resp, err := n.transport.Call(to, req)
+	var resp *Response
+	var err error
+	if ct, ok := n.transport.(ContextTransport); ok {
+		resp, err = ct.CallContext(ctx, to, req)
+	} else {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dht: call %s: %w", to.Addr, err)
+		}
+		resp, err = n.transport.Call(to, req)
+	}
 	if err != nil {
-		n.table.Evict(to.ID)
+		if ctx.Err() == nil {
+			n.table.Evict(to.ID)
+		}
 		return nil, err
 	}
 	return resp, nil
@@ -226,14 +247,21 @@ func (n *Node) Bootstrap(seed NodeInfo) error {
 // Lookup performs an iterative FindNode for target, returning up to K
 // closest live contacts, nearest first.
 func (n *Node) Lookup(target ID) ([]NodeInfo, LookupStats, error) {
-	infos, _, stats, err := n.iterate(target, false)
+	return n.LookupContext(context.Background(), target)
+}
+
+// LookupContext is Lookup under a context: cancellation or deadline stops
+// the iterative lookup between RPCs (and mid-RPC on context-aware
+// transports), returning the context's error.
+func (n *Node) LookupContext(ctx context.Context, target ID) ([]NodeInfo, LookupStats, error) {
+	infos, _, stats, err := n.iterate(ctx, target, false)
 	return infos, stats, err
 }
 
 // iterate is the shared iterative-lookup core. With findValue set it issues
 // FindValue RPCs and returns early once values are found, merging value
 // sets from the closest replica holders it has already contacted.
-func (n *Node) iterate(target ID, findValue bool) ([]NodeInfo, []StoredValue, LookupStats, error) {
+func (n *Node) iterate(ctx context.Context, target ID, findValue bool) ([]NodeInfo, []StoredValue, LookupStats, error) {
 	var stats LookupStats
 
 	shortlist := n.table.Closest(target, n.info.K)
@@ -266,13 +294,19 @@ func (n *Node) iterate(target ID, findValue bool) ([]NodeInfo, []StoredValue, Lo
 		if len(batch) == 0 {
 			break
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, stats, err
+		}
 		stats.Hops++
 
 		improved := false
 		for _, c := range batch {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, stats, err
+			}
 			queried[c.ID] = true
 			req := &Request{Kind: kind, Target: target}
-			resp, err := n.call(c, req)
+			resp, err := n.callCtx(ctx, c, req)
 			stats.Messages++
 			stats.Bytes += req.WireSize()
 			if err != nil {
@@ -348,9 +382,20 @@ func (n *Node) Put(namespace, key string, data []byte) (LookupStats, error) {
 	return n.PutID(NamespacedID(namespace, key), data)
 }
 
+// PutContext is Put under a context.
+func (n *Node) PutContext(ctx context.Context, namespace, key string, data []byte) (LookupStats, error) {
+	return n.PutIDContext(ctx, NamespacedID(namespace, key), data)
+}
+
 // PutID publishes data under an explicit key identifier.
 func (n *Node) PutID(key ID, data []byte) (LookupStats, error) {
-	closest, stats, err := n.Lookup(key)
+	return n.PutIDContext(context.Background(), key, data)
+}
+
+// PutIDContext is PutID under a context: the lookup and the per-replica
+// store RPCs are abandoned once ctx is done.
+func (n *Node) PutIDContext(ctx context.Context, key ID, data []byte) (LookupStats, error) {
+	closest, stats, err := n.LookupContext(ctx, key)
 	if err != nil {
 		return stats, err
 	}
@@ -368,8 +413,11 @@ func (n *Node) PutID(key ID, data []byte) (LookupStats, error) {
 		if c.ID == n.self.ID {
 			continue
 		}
+		if err := ctx.Err(); err != nil {
+			return stats, err
+		}
 		req := &Request{Kind: RPCStore, Target: key, Value: value}
-		resp, err := n.call(c, req)
+		resp, err := n.callCtx(ctx, c, req)
 		stats.Messages++
 		stats.Bytes += req.WireSize()
 		if err != nil {
@@ -409,14 +457,25 @@ func (n *Node) Get(namespace, key string) ([]StoredValue, LookupStats, error) {
 	return n.GetID(NamespacedID(namespace, key))
 }
 
+// GetContext is Get under a context.
+func (n *Node) GetContext(ctx context.Context, namespace, key string) ([]StoredValue, LookupStats, error) {
+	return n.GetIDContext(ctx, NamespacedID(namespace, key))
+}
+
 // GetID retrieves all values under an explicit key identifier, merging the
 // value sets found on the replica holders.
 func (n *Node) GetID(key ID) ([]StoredValue, LookupStats, error) {
+	return n.GetIDContext(context.Background(), key)
+}
+
+// GetIDContext is GetID under a context: the iterative value lookup stops
+// with the context's error once ctx is done.
+func (n *Node) GetIDContext(ctx context.Context, key ID) ([]StoredValue, LookupStats, error) {
 	// Check the local store first: we may be a replica holder.
 	local := n.store.Get(key, n.info.Clock())
 
-	_, values, stats, err := n.iterate(key, true)
-	if err != nil && len(local) == 0 {
+	_, values, stats, err := n.iterate(ctx, key, true)
+	if err != nil && (len(local) == 0 || ctx.Err() != nil) {
 		return nil, stats, err
 	}
 	seen := map[string]bool{}
@@ -433,7 +492,12 @@ func (n *Node) GetID(key ID) ([]StoredValue, LookupStats, error) {
 
 // Owner returns the live node currently responsible for key (the closest).
 func (n *Node) Owner(key ID) (NodeInfo, LookupStats, error) {
-	closest, stats, err := n.Lookup(key)
+	return n.OwnerContext(context.Background(), key)
+}
+
+// OwnerContext is Owner under a context.
+func (n *Node) OwnerContext(ctx context.Context, key ID) (NodeInfo, LookupStats, error) {
+	closest, stats, err := n.LookupContext(ctx, key)
 	if err != nil {
 		return NodeInfo{}, stats, err
 	}
@@ -451,7 +515,13 @@ func (n *Node) Owner(key ID) (NodeInfo, LookupStats, error) {
 // returns its reply. This is the primitive PIER uses to ship query plans
 // and rehashed tuples between keyword owners.
 func (n *Node) Send(key ID, app string, data []byte) ([]byte, LookupStats, error) {
-	owner, stats, err := n.Owner(key)
+	return n.SendContext(context.Background(), key, app, data)
+}
+
+// SendContext is Send under a context: both the owner lookup and the
+// application round-trip abort once ctx is done.
+func (n *Node) SendContext(ctx context.Context, key ID, app string, data []byte) ([]byte, LookupStats, error) {
+	owner, stats, err := n.OwnerContext(ctx, key)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -464,16 +534,21 @@ func (n *Node) Send(key ID, app string, data []byte) ([]byte, LookupStats, error
 		}
 		return h(n.self, data), stats, nil
 	}
-	reply, s2, err := n.SendTo(owner, app, data)
+	reply, s2, err := n.SendToContext(ctx, owner, app, data)
 	stats.Add(s2)
 	return reply, stats, err
 }
 
 // SendTo delivers an application message directly to a known node.
 func (n *Node) SendTo(to NodeInfo, app string, data []byte) ([]byte, LookupStats, error) {
+	return n.SendToContext(context.Background(), to, app, data)
+}
+
+// SendToContext is SendTo under a context.
+func (n *Node) SendToContext(ctx context.Context, to NodeInfo, app string, data []byte) ([]byte, LookupStats, error) {
 	var stats LookupStats
 	req := &Request{Kind: RPCApp, App: app, Data: data}
-	resp, err := n.call(to, req)
+	resp, err := n.callCtx(ctx, to, req)
 	stats.Messages++
 	stats.Bytes += req.WireSize()
 	stats.Hops++

@@ -1,5 +1,7 @@
 package dht
 
+import "context"
+
 // RPCKind enumerates the Kademlia RPCs plus the application-message channel
 // PIER uses to route query plans and tuple batches to key owners.
 type RPCKind uint8
@@ -89,4 +91,15 @@ type Transport interface {
 	// Call delivers req to the node at to and returns its response.
 	// A nil response with a non-nil error means the node is unreachable.
 	Call(to NodeInfo, req *Request) (*Response, error)
+}
+
+// ContextTransport is implemented by transports whose calls can be
+// canceled or deadlined. Node routes every RPC through CallContext when
+// the transport supports it, so a context canceled at the query layer
+// aborts the in-flight dial or round-trip instead of waiting it out.
+// Implementations must return an error wrapping ctx.Err() once the
+// context is done.
+type ContextTransport interface {
+	Transport
+	CallContext(ctx context.Context, to NodeInfo, req *Request) (*Response, error)
 }

@@ -1,6 +1,7 @@
 package dht
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -106,6 +107,16 @@ func (ln *LocalNetwork) Stats() TrafficStats {
 
 // Call implements Transport.
 func (ln *LocalNetwork) Call(to NodeInfo, req *Request) (*Response, error) {
+	return ln.CallContext(context.Background(), to, req)
+}
+
+// CallContext implements ContextTransport. Delivery is synchronous, so the
+// context is consulted at the call boundary: a canceled or expired context
+// fails the RPC before the destination handler runs.
+func (ln *LocalNetwork) CallContext(ctx context.Context, to NodeInfo, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dht: call %s: %w", to.Addr, err)
+	}
 	kind := req.Kind.String()
 	reqBytes := uint64(req.WireSize())
 	ln.mu.Lock()

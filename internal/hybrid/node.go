@@ -1,6 +1,8 @@
 package hybrid
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
@@ -181,6 +183,13 @@ func (u *Ultrapeer) PublishLocal(host gnutella.HostID) error {
 // virtual time), and reissue through PIERSearch on timeout. The Gnutella
 // simulation clock advances as a side effect.
 func (u *Ultrapeer) Query(text string, terms []string) (Outcome, error) {
+	return u.QueryContext(context.Background(), text, terms)
+}
+
+// QueryContext is Query under a context: cancellation aborts the
+// PIERSearch reissue mid-flight (the Gnutella flooding phase runs in
+// overlay virtual time and completes regardless).
+func (u *Ultrapeer) QueryContext(ctx context.Context, text string, terms []string) (Outcome, error) {
 	q := u.gnet.Query(u.Host, terms)
 	deadline := q.Started + u.cfg.GnutellaTimeout
 	u.gnet.Sim.RunUntil(deadline)
@@ -198,8 +207,8 @@ func (u *Ultrapeer) Query(text string, terms []string) (Outcome, error) {
 		}, nil
 	}
 
-	// Timed out: reissue via PIERSearch.
-	results, stats, err := u.search.Query(text, u.cfg.Strategy, 0)
+	// Timed out: reissue via PIERSearch, streaming under the caller's ctx.
+	results, stats, err := u.queryPier(ctx, text)
 	if err != nil {
 		return Outcome{Source: SourceNone, FirstLatency: -1, GnutellaLatency: -1, PierStats: stats}, err
 	}
@@ -209,15 +218,35 @@ func (u *Ultrapeer) Query(text string, terms []string) (Outcome, error) {
 		GnutellaLatency: q.FirstResultLatency(),
 		PierStats:       stats,
 	}
-	if len(results) == 0 {
+	if results == 0 {
 		out.Source = SourceNone
 		out.FirstLatency = -1
 		return out, nil
 	}
 	out.Source = SourcePIER
-	out.Results = len(results)
+	out.Results = results
 	out.FirstLatency = u.cfg.GnutellaTimeout + u.pierLatency(stats.Hops)
 	return out, nil
+}
+
+// queryPier reissues the query through the PIERSearch plan API, counting
+// streamed results.
+func (u *Ultrapeer) queryPier(ctx context.Context, text string) (int, piersearch.SearchStats, error) {
+	rs, err := u.search.QueryContext(ctx, piersearch.Query{Text: text, Strategy: u.cfg.Strategy})
+	if err != nil {
+		return 0, piersearch.SearchStats{}, err
+	}
+	defer rs.Close() //nolint:errcheck // read-only stream
+	n := 0
+	for {
+		if _, err := rs.Next(); err != nil {
+			if errors.Is(err, piersearch.ErrDone) {
+				return n, rs.Stats(), nil
+			}
+			return n, rs.Stats(), err
+		}
+		n++
+	}
 }
 
 // pierLatency converts a hop count into a modeled wall-clock latency.

@@ -5,6 +5,8 @@ package pier
 // operator set includes grouped aggregation alongside selection,
 // projection and joins.
 
+import "sort"
+
 // AggKind enumerates the supported aggregate functions.
 type AggKind uint8
 
@@ -112,7 +114,7 @@ func GroupBy(in Iterator, keyCols []int, aggs []AggSpec) Iterator {
 			g.states[i].update(t[spec.Col])
 		}
 	}
-	sortStrings(order)
+	sort.Strings(order)
 	out := make([]Tuple, 0, len(order))
 	for _, k := range order {
 		g := groups[k]
@@ -134,15 +136,5 @@ func CountAll(in Iterator) int64 {
 			return n
 		}
 		n++
-	}
-}
-
-// sortStrings is an insertion sort; group counts are small and this keeps
-// the operator free of sort-package closure allocations.
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
 	}
 }

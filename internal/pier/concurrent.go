@@ -8,6 +8,7 @@ package pier
 // must return the same answers, only faster.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -54,13 +55,34 @@ func ForEach(n, workers int, fn func(i int)) int {
 	return g.high()
 }
 
+// ForEachCtx is ForEach under a context: once ctx is done no further
+// indexes are dispatched (calls already running finish — fn is expected to
+// observe the same ctx and return promptly). It always waits for every
+// dispatched call, so no worker goroutine outlives the return.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int)) int {
+	var g gauge
+	forEachCtx(ctx, n, workers, &g, fn)
+	return g.high()
+}
+
 // forEach is ForEach with a caller-supplied gauge.
 func forEach(n, workers int, g *gauge, fn func(i int)) {
+	forEachCtx(context.Background(), n, workers, g, fn)
+}
+
+// forEachCtx is the shared bounded-pool core.
+func forEachCtx(ctx context.Context, n, workers int, g *gauge, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
+	done := ctx.Done()
 	if workers <= 1 || n == 1 {
 		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
 			g.enter()
 			fn(i)
 			g.exit()
@@ -83,8 +105,13 @@ func forEach(n, workers int, g *gauge, fn func(i int)) {
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
@@ -114,6 +141,13 @@ type BatchResult struct {
 // posting tuple per keyword, all independent, so fanning them out hides
 // the per-put routing latency.
 func (e *Engine) PublishBatch(pubs []Pub, workers int) (BatchResult, error) {
+	return e.PublishBatchContext(context.Background(), pubs, workers)
+}
+
+// PublishBatchContext is PublishBatch under a context: once ctx is done no
+// further puts are dispatched, in-flight puts abort, and the context's
+// error is returned.
+func (e *Engine) PublishBatchContext(ctx context.Context, pubs []Pub, workers int) (BatchResult, error) {
 	if workers <= 0 {
 		workers = e.cfg.Workers
 	}
@@ -121,8 +155,8 @@ func (e *Engine) PublishBatch(pubs []Pub, workers int) (BatchResult, error) {
 	var res BatchResult
 	errs := make([]error, len(pubs))
 	var g gauge
-	forEach(len(pubs), workers, &g, func(i int) {
-		ls, err := e.Publish(pubs[i].Table, pubs[i].Tuple)
+	forEachCtx(ctx, len(pubs), workers, &g, func(i int) {
+		ls, err := e.PublishContext(ctx, pubs[i].Table, pubs[i].Tuple)
 		errs[i] = err
 		mu.Lock()
 		res.Stats.Add(ls)
@@ -132,6 +166,9 @@ func (e *Engine) PublishBatch(pubs []Pub, workers int) (BatchResult, error) {
 		mu.Unlock()
 	})
 	res.MaxInFlight = g.high()
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("pier: publish batch: %w", err)
+	}
 	for i, err := range errs {
 		if err != nil {
 			return res, fmt.Errorf("pier: publish batch entry %d: %w", i, err)
@@ -228,16 +265,24 @@ type keyProbe struct {
 // ships only candidate fileIDs that can survive every later join — the
 // pruning §5 needs to keep rare-item queries cheap at Internet scale.
 func (e *Engine) ChainJoinConcurrent(table string, keys []Value, joinCol string, limit int) ([]Value, OpStats, error) {
+	return e.ChainJoinConcurrentContext(context.Background(), table, keys, joinCol, limit)
+}
+
+// ChainJoinConcurrentContext is ChainJoinConcurrent under a context:
+// cancellation aborts the parallel probe phase (no further probes are
+// dispatched, in-flight probes abandon their round-trip), the dispatch,
+// and the wait for the chain's result.
+func (e *Engine) ChainJoinConcurrentContext(ctx context.Context, table string, keys []Value, joinCol string, limit int) ([]Value, OpStats, error) {
 	var stats OpStats
 	if len(keys) == 0 {
 		return nil, stats, fmt.Errorf("pier: chain join needs at least one key")
 	}
 	sch, ok := e.Schema(table)
 	if !ok {
-		return nil, stats, fmt.Errorf("pier: unknown table %s", table)
+		return nil, stats, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
 	}
 	if sch.ColIndex(joinCol) < 0 {
-		return nil, stats, fmt.Errorf("pier: table %s has no column %s", table, joinCol)
+		return nil, stats, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, joinCol)
 	}
 
 	msg := chainMsg{
@@ -247,7 +292,10 @@ func (e *Engine) ChainJoinConcurrent(table string, keys []Value, joinCol string,
 		Origin:  e.node.Info(),
 	}
 	if len(keys) > 1 {
-		probes := e.probeKeys(table, keys, joinCol, &stats)
+		probes := e.probeKeys(ctx, table, keys, joinCol, &stats)
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("pier: chain join: %w", err)
+		}
 		sort.SliceStable(probes, func(i, j int) bool { return probes[i].count < probes[j].count })
 		ordered := make([]Value, len(probes))
 		for i, p := range probes {
@@ -279,20 +327,22 @@ func (e *Engine) ChainJoinConcurrent(table string, keys []Value, joinCol string,
 			}
 		}
 	}
-	return e.dispatchChain(msg, &stats, limit)
+	return e.dispatchChain(ctx, msg, &stats, limit)
 }
 
 // probeKeys issues the count+filter probe for every key with bounded
 // parallelism, folding traffic into stats.
-func (e *Engine) probeKeys(table string, keys []Value, joinCol string, stats *OpStats) []keyProbe {
+func (e *Engine) probeKeys(ctx context.Context, table string, keys []Value, joinCol string, stats *OpStats) []keyProbe {
 	var mu sync.Mutex
 	probes := make([]keyProbe, len(keys))
+	for i, k := range keys {
+		probes[i] = keyProbe{key: k, count: 1 << 30} // unknown: order last
+	}
 	var g gauge
-	forEach(len(keys), e.cfg.Workers, &g, func(i int) {
-		probes[i] = keyProbe{key: keys[i], count: 1 << 30} // unknown: order last
+	forEachCtx(ctx, len(keys), e.cfg.Workers, &g, func(i int) {
 		req := bloomMsg{Table: table, Key: keys[i], JoinCol: joinCol, Bits: e.cfg.BloomBits, Hashes: e.cfg.BloomHashes}
 		buf := encodeBloomMsg(codec.GetBuf(), &req)
-		reply, ls, err := e.node.Send(keyID(table, keys[i]), appBloom, buf)
+		reply, ls, err := e.node.SendContext(ctx, keyID(table, keys[i]), appBloom, buf)
 		codec.PutBuf(buf)
 		mu.Lock()
 		stats.addLookup(ls)

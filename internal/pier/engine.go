@@ -1,8 +1,10 @@
 package pier
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -199,9 +201,14 @@ func (e *Engine) Schema(table string) (*Schema, bool) {
 // Publish validates t against the table's schema and stores its wire form
 // in the DHT under the tuple's index key. It returns the traffic cost.
 func (e *Engine) Publish(table string, t Tuple) (dht.LookupStats, error) {
+	return e.PublishContext(context.Background(), table, t)
+}
+
+// PublishContext is Publish under a context.
+func (e *Engine) PublishContext(ctx context.Context, table string, t Tuple) (dht.LookupStats, error) {
 	sch, ok := e.Schema(table)
 	if !ok {
-		return dht.LookupStats{}, fmt.Errorf("pier: unknown table %s", table)
+		return dht.LookupStats{}, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
 	}
 	if err := sch.Validate(t); err != nil {
 		return dht.LookupStats{}, err
@@ -210,7 +217,7 @@ func (e *Engine) Publish(table string, t Tuple) (dht.LookupStats, error) {
 	if err != nil {
 		return dht.LookupStats{}, err
 	}
-	return e.node.Put(table, key, t.Encode(nil))
+	return e.node.PutContext(ctx, table, key, t.Encode(nil))
 }
 
 // decodeValues parses a list of stored values into tuples.
@@ -219,7 +226,7 @@ func decodeValues(values []dht.StoredValue) ([]Tuple, error) {
 	for _, v := range values {
 		t, _, err := DecodeTuple(v.Data)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: %v", ErrDecode, err)
 		}
 		out = append(out, t)
 	}
@@ -234,7 +241,13 @@ func (e *Engine) LocalScan(table string, key Value) ([]Tuple, error) {
 
 // Fetch retrieves the tuples of table stored in the DHT under key.
 func (e *Engine) Fetch(table string, key Value) ([]Tuple, dht.LookupStats, error) {
-	values, stats, err := e.node.GetID(keyID(table, key))
+	return e.FetchContext(context.Background(), table, key)
+}
+
+// FetchContext is Fetch under a context: the value lookup aborts once ctx
+// is done.
+func (e *Engine) FetchContext(ctx context.Context, table string, key Value) ([]Tuple, dht.LookupStats, error) {
+	values, stats, err := e.node.GetIDContext(ctx, keyID(table, key))
 	if err != nil {
 		return nil, stats, err
 	}
@@ -244,14 +257,22 @@ func (e *Engine) Fetch(table string, key Value) ([]Tuple, dht.LookupStats, error
 
 // Count asks the owner of (table, key) for its local posting-list size.
 func (e *Engine) Count(table string, key Value) (int, dht.LookupStats, error) {
+	return e.CountContext(context.Background(), table, key)
+}
+
+// CountContext is Count under a context.
+func (e *Engine) CountContext(ctx context.Context, table string, key Value) (int, dht.LookupStats, error) {
 	buf := encodeCountMsg(codec.GetBuf(), &countMsg{Table: table, Key: key})
-	reply, stats, err := e.node.Send(keyID(table, key), appCount, buf)
+	reply, stats, err := e.node.SendContext(ctx, keyID(table, key), appCount, buf)
 	codec.PutBuf(buf)
 	if err != nil {
 		return 0, stats, err
 	}
 	n, err := decodeCountReply(reply)
-	return n, stats, err
+	if err != nil {
+		return 0, stats, fmt.Errorf("%w: %v", ErrDecode, err)
+	}
+	return n, stats, nil
 }
 
 func (e *Engine) handleCount(_ dht.NodeInfo, data []byte) []byte {
@@ -271,20 +292,32 @@ func (e *Engine) handleCount(_ dht.NodeInfo, data []byte) []byte {
 // the owning nodes, with the surviving joinCol values streamed back to this
 // node. keys are index-key values for table (e.g. keywords for Inverted).
 func (e *Engine) ChainJoin(table string, keys []Value, joinCol string, limit int) ([]Value, OpStats, error) {
+	return e.ChainJoinContext(context.Background(), table, keys, joinCol, limit)
+}
+
+// ChainJoinContext is ChainJoin under a context: cancellation or deadline
+// aborts the selectivity probes, the dispatch RPC and the wait for the
+// chain's result, returning an error wrapping ctx.Err(). Work already
+// forwarded to remote owners runs to completion there — its result message
+// is simply dropped at the origin.
+func (e *Engine) ChainJoinContext(ctx context.Context, table string, keys []Value, joinCol string, limit int) ([]Value, OpStats, error) {
 	var stats OpStats
 	if len(keys) == 0 {
 		return nil, stats, fmt.Errorf("pier: chain join needs at least one key")
 	}
 	sch, ok := e.Schema(table)
 	if !ok {
-		return nil, stats, fmt.Errorf("pier: unknown table %s", table)
+		return nil, stats, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
 	}
 	if sch.ColIndex(joinCol) < 0 {
-		return nil, stats, fmt.Errorf("pier: table %s has no column %s", table, joinCol)
+		return nil, stats, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, joinCol)
 	}
 
 	if e.cfg.OrderBySelectivity && len(keys) > 1 {
-		keys = e.orderBySelectivity(table, keys, &stats)
+		keys = e.orderBySelectivity(ctx, table, keys, &stats)
+		if err := ctx.Err(); err != nil {
+			return nil, stats, fmt.Errorf("pier: chain join: %w", err)
+		}
 	}
 
 	msg := chainMsg{
@@ -293,12 +326,13 @@ func (e *Engine) ChainJoin(table string, keys []Value, joinCol string, limit int
 		Keys:    keys,
 		Origin:  e.node.Info(),
 	}
-	return e.dispatchChain(msg, &stats, limit)
+	return e.dispatchChain(ctx, msg, &stats, limit)
 }
 
 // dispatchChain registers a result waiter, ships msg to the owner of the
-// first key, and blocks until the chain's result message (or timeout).
-func (e *Engine) dispatchChain(msg chainMsg, stats *OpStats, limit int) ([]Value, OpStats, error) {
+// first key, and blocks until the chain's result message, the context's
+// cancellation, or the configured timeout.
+func (e *Engine) dispatchChain(ctx context.Context, msg chainMsg, stats *OpStats, limit int) ([]Value, OpStats, error) {
 	qid := e.nextQID.Add(1)
 	msg.QID = qid
 	ch := make(chan resultMsg, 1)
@@ -312,7 +346,7 @@ func (e *Engine) dispatchChain(msg chainMsg, stats *OpStats, limit int) ([]Value
 	}()
 
 	buf := encodeChainMsg(codec.GetBuf(), &msg)
-	_, ls, err := e.node.Send(keyID(msg.Table, msg.Keys[0]), appChain, buf)
+	_, ls, err := e.node.SendContext(ctx, keyID(msg.Table, msg.Keys[0]), appChain, buf)
 	codec.PutBuf(buf)
 	stats.addLookup(ls)
 	if err != nil {
@@ -332,6 +366,8 @@ func (e *Engine) dispatchChain(msg chainMsg, stats *OpStats, limit int) ([]Value
 			values = values[:limit]
 		}
 		return values, *stats, nil
+	case <-ctx.Done():
+		return nil, *stats, fmt.Errorf("pier: chain join %d: %w", qid, ctx.Err())
 	case <-time.After(e.cfg.ChainTimeout):
 		return nil, *stats, fmt.Errorf("pier: chain join %d timed out after %v", qid, e.cfg.ChainTimeout)
 	}
@@ -340,18 +376,21 @@ func (e *Engine) dispatchChain(msg chainMsg, stats *OpStats, limit int) ([]Value
 // orderBySelectivity probes each key's posting-list size and returns keys
 // sorted ascending, so the chain starts with the smallest list. Probes are
 // issued with up to cfg.Workers in flight.
-func (e *Engine) orderBySelectivity(table string, keys []Value, stats *OpStats) []Value {
+func (e *Engine) orderBySelectivity(ctx context.Context, table string, keys []Value, stats *OpStats) []Value {
 	type sized struct {
 		key Value
 		n   int
 	}
 	var mu sync.Mutex
 	sizedKeys := make([]sized, len(keys))
+	for i, k := range keys {
+		sizedKeys[i] = sized{k, 1 << 30} // unknown (unprobed or failed): order last
+	}
 	var g gauge
-	forEach(len(keys), e.cfg.Workers, &g, func(i int) {
-		n, ls, err := e.Count(table, keys[i])
+	forEachCtx(ctx, len(keys), e.cfg.Workers, &g, func(i int) {
+		n, ls, err := e.CountContext(ctx, table, keys[i])
 		if err != nil {
-			n = 1 << 30 // unknown: probe it last
+			n = 1 << 30
 		}
 		mu.Lock()
 		stats.addLookup(ls)
@@ -498,17 +537,23 @@ func (e *Engine) handleResult(_ dht.NodeInfo, data []byte) []byte {
 // substring containment of every filter in textCol. No posting lists are
 // shipped; the reply carries only matching tuples.
 func (e *Engine) CacheSelect(table string, key Value, filters []string, textCol string, limit int) ([]Tuple, OpStats, error) {
+	return e.CacheSelectContext(context.Background(), table, key, filters, textCol, limit)
+}
+
+// CacheSelectContext is CacheSelect under a context: the single round-trip
+// to the key's owner aborts once ctx is done.
+func (e *Engine) CacheSelectContext(ctx context.Context, table string, key Value, filters []string, textCol string, limit int) ([]Tuple, OpStats, error) {
 	var stats OpStats
 	sch, ok := e.Schema(table)
 	if !ok {
-		return nil, stats, fmt.Errorf("pier: unknown table %s", table)
+		return nil, stats, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
 	}
 	if sch.ColIndex(textCol) < 0 {
-		return nil, stats, fmt.Errorf("pier: table %s has no column %s", table, textCol)
+		return nil, stats, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, textCol)
 	}
 	msg := cacheMsg{Table: table, Key: key, TextCol: textCol, Filters: filters, Limit: limit}
 	buf := encodeCacheMsg(codec.GetBuf(), &msg)
-	reply, ls, err := e.node.Send(keyID(table, key), appCache, buf)
+	reply, ls, err := e.node.SendContext(ctx, keyID(table, key), appCache, buf)
 	codec.PutBuf(buf)
 	stats.addLookup(ls)
 	if err != nil {
@@ -516,7 +561,7 @@ func (e *Engine) CacheSelect(table string, key Value, filters []string, textCol 
 	}
 	cr, err := decodeCacheReply(reply)
 	if err != nil {
-		return nil, stats, err
+		return nil, stats, fmt.Errorf("%w: %v", ErrDecode, err)
 	}
 	if cr.Err != "" {
 		return nil, stats, fmt.Errorf("pier: cache select: %s", cr.Err)
@@ -525,7 +570,7 @@ func (e *Engine) CacheSelect(table string, key Value, filters []string, textCol 
 	for _, raw := range cr.Tuples {
 		t, _, err := DecodeTuple(raw)
 		if err != nil {
-			return nil, stats, err
+			return nil, stats, fmt.Errorf("%w: %v", ErrDecode, err)
 		}
 		tuples = append(tuples, t)
 	}
@@ -555,7 +600,7 @@ func (e *Engine) handleCache(_ dht.NodeInfo, data []byte) []byte {
 	it := Select(NewSliceIter(local), func(t Tuple) bool {
 		text := t[textIdx].Text()
 		for _, f := range msg.Filters {
-			if !containsFold(text, f) {
+			if !ContainsFold(text, f) {
 				return false
 			}
 		}
@@ -575,29 +620,18 @@ func (e *Engine) handleCache(_ dht.NodeInfo, data []byte) []byte {
 	return encodeCacheReply(nil, &reply)
 }
 
-// containsFold reports whether substr occurs in s, ASCII-case-insensitively,
-// matching the paper's substring selection operators over filenames.
-func containsFold(s, substr string) bool {
+// ContainsFold reports whether substr occurs in s under case folding,
+// matching the paper's substring selection operators over filenames. It is
+// the one case-folding helper shared by the engine's InvertedCache handler
+// and the plan package's Filter predicates.
+func ContainsFold(s, substr string) bool {
 	if len(substr) == 0 {
 		return true
 	}
-	if len(substr) > len(s) {
-		return false
-	}
-	lower := func(b byte) byte {
-		if 'A' <= b && b <= 'Z' {
-			return b + 'a' - 'A'
-		}
-		return b
-	}
-outer:
 	for i := 0; i+len(substr) <= len(s); i++ {
-		for j := 0; j < len(substr); j++ {
-			if lower(s[i+j]) != lower(substr[j]) {
-				continue outer
-			}
+		if strings.EqualFold(s[i:i+len(substr)], substr) {
+			return true
 		}
-		return true
 	}
 	return false
 }

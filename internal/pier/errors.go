@@ -1,0 +1,21 @@
+package pier
+
+import "errors"
+
+// Sentinel errors, checkable with errors.Is. Engine methods wrap these
+// with call-site detail (table names, column names, the codec error), so
+// callers branch on the class without parsing messages.
+var (
+	// ErrNoSuchTable reports a table name absent from the engine's schema
+	// catalog. Every node participating in a query must have registered
+	// the same schemas; hitting this on a remote node usually means a
+	// deployment whose catalogs diverged.
+	ErrNoSuchTable = errors.New("pier: no such table")
+
+	// ErrNoSuchColumn reports a column name absent from a table's schema.
+	ErrNoSuchColumn = errors.New("pier: no such column")
+
+	// ErrDecode reports malformed wire data: a tuple, stored value or
+	// engine message that did not parse. It wraps the codec-level detail.
+	ErrDecode = errors.New("pier: malformed wire data")
+)

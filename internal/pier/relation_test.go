@@ -199,8 +199,8 @@ func TestContainsFold(t *testing.T) {
 		{"xyz", "xyz", true},
 	}
 	for _, c := range cases {
-		if got := containsFold(c.s, c.sub); got != c.want {
-			t.Errorf("containsFold(%q, %q) = %v, want %v", c.s, c.sub, got, c.want)
+		if got := ContainsFold(c.s, c.sub); got != c.want {
+			t.Errorf("ContainsFold(%q, %q) = %v, want %v", c.s, c.sub, got, c.want)
 		}
 	}
 }

@@ -1,11 +1,11 @@
 package piersearch
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"sort"
 	"time"
 
-	"piersearch/internal/dht"
 	"piersearch/internal/pier"
 )
 
@@ -92,126 +92,38 @@ func (s *Search) effectiveWorkers() int {
 // plan runs through the engine's concurrent chain join (parallel probes,
 // Bloom pre-join) and the final Item fetches fan out through a bounded
 // worker pool.
+//
+// Query is the blocking convenience wrapper over QueryContext: it compiles
+// the same operator plan, drains the stream and sorts. Use QueryContext to
+// stream results incrementally or to cancel a wide-area query in flight.
 func (s *Search) Query(query string, strategy Strategy, limit int) ([]Result, SearchStats, error) {
 	start := time.Now()
-	results, stats, err := s.run(query, strategy, limit)
-	stats.Wall = time.Since(start)
-	return results, stats, err
-}
-
-func (s *Search) run(query string, strategy Strategy, limit int) ([]Result, SearchStats, error) {
-	stats := SearchStats{Strategy: strategy}
-	keywords := s.tokenizer.Tokenize(query)
-	if len(keywords) == 0 {
-		return nil, stats, fmt.Errorf("piersearch: query %q has no indexable keywords", query)
+	rs, err := s.QueryContext(context.Background(), Query{Text: query, Strategy: strategy, Limit: limit})
+	if err != nil {
+		return nil, SearchStats{Strategy: strategy, Wall: time.Since(start)}, err
 	}
-	stats.Keywords = len(keywords)
-	workers := s.effectiveWorkers()
+	defer rs.Close()
 
-	var fileIDs []pier.Value
-	switch strategy {
-	case StrategyJoin:
-		keys := make([]pier.Value, len(keywords))
-		for i, kw := range keywords {
-			keys[i] = pier.String(kw)
-		}
-		join := s.engine.ChainJoin
-		if workers > 1 {
-			join = s.engine.ChainJoinConcurrent
-		}
-		values, op, err := join(TableInverted, keys, "fileID", limit)
-		stats.Messages += op.Messages
-		stats.Bytes += op.Bytes
-		stats.MatchBytes += op.Bytes
-		stats.Hops += op.Hops
-		stats.PostingShipped += op.PostingShipped
-		if op.MaxInFlight > stats.MaxInFlight {
-			stats.MaxInFlight = op.MaxInFlight
+	var results []Result
+	for {
+		r, err := rs.Next()
+		if errors.Is(err, ErrDone) {
+			break
 		}
 		if err != nil {
+			stats := rs.Stats()
+			stats.Wall = time.Since(start)
 			return nil, stats, err
 		}
-		fileIDs = values
-
-	case StrategyCache:
-		filters := make([]string, 0, len(keywords)-1)
-		for _, kw := range keywords[1:] {
-			filters = append(filters, kw)
-		}
-		tuples, op, err := s.engine.CacheSelect(TableInvertedCache, pier.String(keywords[0]), filters, "fulltext", limit)
-		stats.Messages += op.Messages
-		stats.Bytes += op.Bytes
-		stats.MatchBytes += op.Bytes
-		stats.Hops += op.Hops
-		if err != nil {
-			return nil, stats, err
-		}
-		seen := map[string]bool{}
-		for _, t := range tuples {
-			id := t[1]
-			if k := id.Key(); !seen[k] {
-				seen[k] = true
-				fileIDs = append(fileIDs, id)
-			}
-		}
-
-	default:
-		return nil, stats, fmt.Errorf("piersearch: unknown strategy %d", strategy)
+		results = append(results, r)
 	}
-	stats.Matches = len(fileIDs)
-
-	// Final stage of both plans: fetch the Item tuples by fileID. The
-	// fileID list is already capped at limit by the match phase, and every
-	// fetch is independent, so they run through the worker pool.
-	results := s.fetchItems(fileIDs, workers, limit, &stats)
 	sort.Slice(results, func(i, j int) bool {
 		if results[i].File.Name != results[j].File.Name {
 			return results[i].File.Name < results[j].File.Name
 		}
 		return results[i].File.Host < results[j].File.Host
 	})
-	if limit > 0 && len(results) > limit {
-		results = results[:limit]
-	}
+	stats := rs.Stats()
+	stats.Wall = time.Since(start)
 	return results, stats, nil
-}
-
-// fetchItems resolves fileIDs to Item tuples with up to workers concurrent
-// fetches. A missing Item (e.g. holder churned out) drops one result.
-func (s *Search) fetchItems(fileIDs []pier.Value, workers, limit int, stats *SearchStats) []Result {
-	if limit > 0 && len(fileIDs) > limit {
-		fileIDs = fileIDs[:limit]
-	}
-	type fetched struct {
-		tuples []pier.Tuple
-		ls     dht.LookupStats
-		err    error
-	}
-	// Each worker writes a distinct element, so no lock is needed; the
-	// pool's WaitGroup orders the writes before the merge below.
-	out := make([]fetched, len(fileIDs))
-	inFlight := pier.ForEach(len(fileIDs), workers, func(i int) {
-		tuples, ls, err := s.engine.Fetch(TableItem, fileIDs[i])
-		out[i] = fetched{tuples, ls, err}
-	})
-	if inFlight > stats.MaxInFlight {
-		stats.MaxInFlight = inFlight
-	}
-	var results []Result
-	for _, f := range out {
-		stats.Messages += f.ls.Messages
-		stats.Bytes += f.ls.Bytes
-		stats.Hops += f.ls.Hops
-		if f.err != nil {
-			continue
-		}
-		for _, t := range f.tuples {
-			file, id, err := FileFromItemTuple(t)
-			if err != nil {
-				continue
-			}
-			results = append(results, Result{File: file, FileID: id})
-		}
-	}
-	return results
 }

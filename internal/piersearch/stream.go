@@ -1,0 +1,179 @@
+package piersearch
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"piersearch/internal/plan"
+)
+
+// ErrDone is returned by ResultStream.Next once the stream is exhausted.
+// It aliases plan.ErrDone, so either sentinel matches with errors.Is.
+var ErrDone = plan.ErrDone
+
+// Query is one conjunctive keyword query for QueryContext.
+type Query struct {
+	// Text is the raw query string; it is tokenized with the search's
+	// tokenizer.
+	Text string
+	// Strategy selects the query plan.
+	Strategy Strategy
+	// Limit caps the results (0 = unlimited). The cap is pushed into the
+	// match phase: at most Limit candidate fileIDs are shipped or
+	// fetched, and the stream terminates early once Limit results have
+	// been produced.
+	Limit int
+	// Workers bounds concurrent DHT operations per plan stage (0 = the
+	// search default, 1 = fully sequential execution).
+	Workers int
+}
+
+// Catalog returns the plan catalog binding the PIERSearch relations, for
+// callers composing their own operator trees or planners.
+func Catalog() plan.Catalog {
+	return plan.Catalog{
+		PostingTable: TableInverted,
+		CacheTable:   TableInvertedCache,
+		ItemTable:    TableItem,
+		JoinCol:      "fileID",
+		TextCol:      "fulltext",
+	}
+}
+
+// planStrategy maps the public strategy to the planner's.
+func planStrategy(s Strategy) (plan.Strategy, error) {
+	switch s {
+	case StrategyJoin:
+		return plan.StrategyJoin, nil
+	case StrategyCache:
+		return plan.StrategyCache, nil
+	default:
+		return 0, fmt.Errorf("piersearch: unknown strategy %d", s)
+	}
+}
+
+// QueryContext compiles q into an operator plan, opens it under ctx, and
+// returns a stream of results. Results arrive incrementally: each Next
+// pulls the plan, so item tuples are fetched in bounded batches as the
+// caller consumes, and a caller that stops early (or cancels ctx) stops
+// the remaining fetches. The stream must be closed.
+//
+// Cancellation: once ctx is done, in-flight DHT round-trips abort and
+// Next returns an error matching both plan.ErrCanceled and the context's
+// own error.
+func (s *Search) QueryContext(ctx context.Context, q Query) (*ResultStream, error) {
+	start := time.Now()
+	keywords := s.tokenizer.Tokenize(q.Text)
+	if len(keywords) == 0 {
+		return nil, fmt.Errorf("piersearch: query %q has no indexable keywords", q.Text)
+	}
+	strat, err := planStrategy(q.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	workers := q.Workers
+	if workers <= 0 {
+		workers = s.effectiveWorkers()
+	}
+	planner := plan.Planner{Engine: s.engine, Catalog: Catalog()}
+	compiled, err := planner.Plan(plan.Query{
+		Terms:    keywords,
+		Strategy: strat,
+		Limit:    q.Limit,
+		Options:  plan.Options{Workers: workers},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := compiled.Root.Open(ctx); err != nil {
+		compiled.Root.Close() //nolint:errcheck // open failed; best-effort release
+		return nil, err
+	}
+	return &ResultStream{
+		strategy: q.Strategy,
+		keywords: len(keywords),
+		compiled: compiled,
+		start:    start,
+	}, nil
+}
+
+// ResultStream delivers query results incrementally. It is not safe for
+// concurrent use.
+type ResultStream struct {
+	strategy Strategy
+	keywords int
+	compiled *plan.CompiledPlan
+	start    time.Time
+
+	wall   time.Duration // fixed once the stream finishes or closes
+	err    error         // terminal error (ErrDone after clean exhaustion)
+	closed bool
+}
+
+// Next returns the next result. It returns ErrDone once the stream is
+// exhausted (and on every later call), or the execution error that killed
+// the stream. Item tuples that fail to parse are skipped, matching the
+// legacy fetch phase's tolerance of churned-out holders.
+func (rs *ResultStream) Next() (Result, error) {
+	if rs.err != nil {
+		return Result{}, rs.err
+	}
+	if rs.closed {
+		return Result{}, fmt.Errorf("piersearch: result stream closed")
+	}
+	for {
+		t, err := rs.compiled.Root.Next()
+		if err != nil {
+			rs.err = err
+			rs.fixWall()
+			return Result{}, err
+		}
+		file, id, err := FileFromItemTuple(t)
+		if err != nil {
+			continue // malformed or foreign tuple under this key: skip
+		}
+		return Result{File: file, FileID: id}, nil
+	}
+}
+
+// Close releases the plan. Idempotent; safe after Next returned an error.
+func (rs *ResultStream) Close() error {
+	if rs.closed {
+		return nil
+	}
+	rs.closed = true
+	rs.fixWall()
+	return rs.compiled.Root.Close()
+}
+
+func (rs *ResultStream) fixWall() {
+	if rs.wall == 0 {
+		rs.wall = time.Since(rs.start)
+	}
+}
+
+// Stats reports the query's cost so far: totals over the whole operator
+// tree, plus the match-phase figures §7 compares between plans. The
+// numbers grow as the stream is consumed and are final once Next has
+// returned ErrDone or the stream is closed.
+func (rs *ResultStream) Stats() SearchStats {
+	total := plan.TotalStats(rs.compiled.Root)
+	match := rs.compiled.Match.Stats()
+	stats := SearchStats{
+		Strategy:       rs.strategy,
+		Keywords:       rs.keywords,
+		Matches:        match.Tuples,
+		Messages:       total.Messages,
+		Bytes:          total.Bytes,
+		Hops:           total.Hops,
+		PostingShipped: total.PostingShipped,
+		MatchBytes:     plan.TotalStats(rs.compiled.Match).Bytes,
+		MaxInFlight:    total.MaxInFlight,
+		Wall:           rs.wall,
+	}
+	if stats.Wall == 0 {
+		stats.Wall = time.Since(rs.start)
+	}
+	return stats
+}

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -78,6 +79,15 @@ func (rt *RealTime) Bytes() uint64 { return rt.bytes.Load() }
 // the request to the destination node, and sleeps another sampled delay
 // for the response leg.
 func (rt *RealTime) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, error) {
+	return rt.CallContext(context.Background(), to, req)
+}
+
+// CallContext implements dht.ContextTransport: cancellation during either
+// latency leg abandons the RPC immediately, modelling a caller that stops
+// waiting for a wide-area round-trip (the request or response is simply
+// lost in flight; the destination handler does not run after a request-leg
+// cancel).
+func (rt *RealTime) CallContext(ctx context.Context, to dht.NodeInfo, req *dht.Request) (*dht.Response, error) {
 	rt.mu.Lock()
 	node, ok := rt.nodes[to.Addr]
 	there := rt.latency.Delay(rt.rng)
@@ -89,12 +99,32 @@ func (rt *RealTime) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, erro
 	rt.messages.Add(2)
 	rt.bytes.Add(uint64(req.WireSize()))
 
-	time.Sleep(there)
+	if err := sleepCtx(ctx, there); err != nil {
+		return nil, fmt.Errorf("simnet: call %s: %w", to.Addr, err)
+	}
 	resp := node.HandleRPC(req)
-	time.Sleep(back)
+	if err := sleepCtx(ctx, back); err != nil {
+		return nil, fmt.Errorf("simnet: call %s: %w", to.Addr, err)
+	}
 
 	rt.bytes.Add(uint64(resp.WireSize()))
 	return resp, nil
+}
+
+// sleepCtx sleeps for d or until ctx is done, returning ctx.Err() in the
+// latter case.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // NewRealTimeCluster builds and bootstraps a DHT of n nodes over a

@@ -110,29 +110,63 @@ func (t *TCPTransport) dialContext() context.Context {
 
 // Call implements dht.Transport.
 func (t *TCPTransport) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, error) {
+	return t.CallContext(context.Background(), to, req)
+}
+
+// CallContext implements dht.ContextTransport. The context governs the
+// whole round-trip: waiting for a pooled-connection slot, the dial, and
+// the framed read/write (the connection deadline is the earlier of the
+// context deadline and CallTimeout; cancellation severs an in-flight
+// round-trip immediately). Once ctx is done the returned error wraps
+// ctx.Err(), so a deadline surfaces as context.DeadlineExceeded rather
+// than a raw net timeout.
+func (t *TCPTransport) CallContext(ctx context.Context, to dht.NodeInfo, req *dht.Request) (*dht.Response, error) {
 	if t.Delay > 0 {
-		time.Sleep(t.Delay)
+		timer := time.NewTimer(t.Delay)
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, fmt.Errorf("wire: call %s: %w", to.Addr, ctx.Err())
+		}
 	}
 	hp, err := t.pool(to.Addr)
 	if err != nil {
 		return nil, err
 	}
-	hp.sem <- struct{}{}
+	select {
+	case hp.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("wire: call %s: %w", to.Addr, ctx.Err())
+	}
 	defer func() { <-hp.sem }()
 
 	conn := hp.get()
 	pooled := conn != nil
-	resp, conn, err := t.callOnce(conn, to.Addr, req)
-	if err != nil && pooled {
+	resp, conn, err := t.callOnce(ctx, conn, to.Addr, req)
+	if err != nil && pooled && ctx.Err() == nil {
 		// Stale pooled connection: retry once on a fresh dial.
 		if conn != nil {
 			conn.Close()
 		}
-		resp, conn, err = t.callOnce(nil, to.Addr, req)
+		resp, conn, err = t.callOnce(ctx, nil, to.Addr, req)
 	}
 	if err != nil {
 		if conn != nil {
 			conn.Close()
+		}
+		// A round-trip severed by the context reports the context's error,
+		// not the net-layer timeout it was converted into. The connection
+		// deadline can fire a beat before the context's own timer marks it
+		// done, so an expired context deadline plus a net timeout is also
+		// the context's doing.
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, fmt.Errorf("wire: call %s: %w", to.Addr, ctxErr)
+		}
+		if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil, fmt.Errorf("wire: call %s: %w", to.Addr, context.DeadlineExceeded)
+			}
 		}
 		return nil, fmt.Errorf("wire: call %s: %w", to.Addr, err)
 	}
@@ -142,28 +176,56 @@ func (t *TCPTransport) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, e
 
 // callOnce performs one framed round-trip, dialing when conn is nil. It
 // returns the connection it used so the caller can pool or close it.
-func (t *TCPTransport) callOnce(conn net.Conn, addr string, req *dht.Request) (*dht.Response, net.Conn, error) {
+func (t *TCPTransport) callOnce(ctx context.Context, conn net.Conn, addr string, req *dht.Request) (*dht.Response, net.Conn, error) {
 	if conn == nil {
+		// The dial aborts when either the per-call context or the
+		// transport-wide close context fires.
+		dctx, cancel := context.WithCancel(ctx)
+		stop := context.AfterFunc(t.dialContext(), cancel)
 		d := net.Dialer{Timeout: t.DialTimeout}
-		c, err := d.DialContext(t.dialContext(), "tcp", addr)
+		c, err := d.DialContext(dctx, "tcp", addr)
+		stop()
+		cancel()
 		if err != nil {
 			return nil, nil, err
 		}
 		conn = c
 	}
 	deadline := time.Now().Add(t.CallTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	if err := conn.SetDeadline(deadline); err != nil {
 		return nil, conn, err
 	}
-	if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
-		return nil, conn, err
+	// Cancellation (as opposed to a deadline) severs the in-flight
+	// round-trip by expiring the connection deadline immediately; the
+	// caller maps the resulting timeout back to ctx.Err().
+	stop := context.AfterFunc(ctx, func() {
+		conn.SetDeadline(time.Unix(1, 0)) //nolint:errcheck // best-effort abort
+	})
+	resp, err := func() (*dht.Response, error) {
+		if err := WriteFrame(conn, EncodeRequest(req)); err != nil {
+			return nil, err
+		}
+		payload, err := ReadFrame(conn)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := DecodeResponse(payload)
+		codec.PutBuf(payload) // decode copies what it keeps
+		return resp, err
+	}()
+	if !stop() && err == nil {
+		// The abort hook fired (or is in flight) even though the
+		// round-trip won the race: the connection's deadline is, or is
+		// about to be, poisoned. Fail the call — the caller canceled
+		// anyway — so the connection is closed rather than pooled with a
+		// stale deadline that would kill the next borrower's RPC.
+		if err = ctx.Err(); err == nil {
+			err = context.Canceled
+		}
 	}
-	payload, err := ReadFrame(conn)
-	if err != nil {
-		return nil, conn, err
-	}
-	resp, err := DecodeResponse(payload)
-	codec.PutBuf(payload) // decode copies what it keeps
 	return resp, conn, err
 }
 

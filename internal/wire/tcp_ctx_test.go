@@ -1,0 +1,160 @@
+package wire
+
+// Context-propagation tests for the TCP transport: deadlines surface as
+// context.DeadlineExceeded (not raw net timeouts), cancellation severs
+// in-flight round-trips and waiting callers promptly, and a pre-canceled
+// context never touches the network.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"piersearch/internal/dht"
+)
+
+// silentServer accepts connections and reads frames but never replies,
+// so calls block in ReadFrame until a deadline or cancel severs them.
+func silentServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				buf := make([]byte, 4096)
+				for {
+					if _, err := conn.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestCallContextDeadlineExceeded(t *testing.T) {
+	addr := silentServer(t)
+	tr := NewTCPTransport()
+	defer tr.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := tr.CallContext(ctx, dht.NodeInfo{Addr: addr}, pingReq())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("deadline took %v to fire", elapsed)
+	}
+}
+
+func TestCallContextCancelSeversInFlight(t *testing.T) {
+	addr := silentServer(t)
+	tr := NewTCPTransport()
+	defer tr.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := tr.CallContext(ctx, dht.NodeInfo{Addr: addr}, pingReq())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancel took %v to sever the call", elapsed)
+	}
+}
+
+func TestCallContextPreCanceled(t *testing.T) {
+	tr := NewTCPTransport()
+	defer tr.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// Address is never dialed: the canceled context fails the call first.
+	_, err := tr.CallContext(ctx, dht.NodeInfo{Addr: "127.0.0.1:1"}, pingReq())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+}
+
+func TestCallContextCancelAbortsPooledWait(t *testing.T) {
+	addr := silentServer(t)
+	tr := NewTCPTransport()
+	tr.MaxConnsPerHost = 1
+	defer tr.Close()
+
+	// Occupy the host's single connection slot with a call that will sit
+	// in ReadFrame until its own deadline.
+	holdCtx, holdCancel := context.WithCancel(context.Background())
+	held := make(chan struct{})
+	go func() {
+		defer close(held)
+		tr.CallContext(holdCtx, dht.NodeInfo{Addr: addr}, pingReq()) //nolint:errcheck // severed below
+	}()
+	time.Sleep(50 * time.Millisecond) // let the holder take the slot
+
+	// The second caller queues on the pool semaphore; canceling it must
+	// abort the wait without waiting for the holder to finish.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := tr.CallContext(ctx, dht.NodeInfo{Addr: addr}, pingReq())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued call error = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("queued call took %v to observe cancel", elapsed)
+	}
+	holdCancel()
+	<-held
+}
+
+func TestCallContextNilDeadlinePoolsConnection(t *testing.T) {
+	// A successful context-bearing call must still pool its connection:
+	// run two calls against a real server and check the second reuses it.
+	ln, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTCPTransport()
+	defer tr.Close()
+	node := dht.NewNode(dht.NodeInfo{ID: dht.RandomID(), Addr: ln.Addr().String()}, tr, dht.Config{})
+	srv := NewServer(node, ln)
+	go srv.Serve() //nolint:errcheck // closed below
+	defer srv.Close()
+
+	for i := 0; i < 2; i++ {
+		resp, err := tr.CallContext(context.Background(), node.Info(), pingReq())
+		if err != nil || !resp.OK {
+			t.Fatalf("call %d: resp=%+v err=%v", i, resp, err)
+		}
+	}
+	tr.mu.Lock()
+	hp := tr.conns[ln.Addr().String()]
+	tr.mu.Unlock()
+	hp.mu.Lock()
+	free := len(hp.free)
+	hp.mu.Unlock()
+	if free != 1 {
+		t.Errorf("pooled connections = %d, want 1 (reused)", free)
+	}
+}
