@@ -3,15 +3,20 @@
 // files and answers keyword queries — the building block of the paper's
 // hybrid ultrapeer, runnable by hand.
 //
-// Start a first node:
+// Start a first node with a persistent on-disk store:
 //
-//	piersearch -listen 127.0.0.1:4000 -daemon
+//	piersearch -listen 127.0.0.1:4000 -store disk -data-dir /var/lib/piersearch -daemon
 //
 // Join it, publish and search:
 //
 //	piersearch -listen 127.0.0.1:4001 -join 127.0.0.1:4000 \
 //	    -publish "Madonna - Like a Prayer.mp3" -publish "Rare Demo Tape.mp3"
 //	piersearch -listen 127.0.0.1:4002 -join 127.0.0.1:4000 -search "rare demo"
+//
+// A disk-backed daemon that is restarted with the same -data-dir recovers
+// its replicas from the write-ahead log and serves them without anyone
+// republishing. SIGINT/SIGTERM shut the node down cleanly: the WAL is
+// flushed and fsynced and the directory lock released.
 package main
 
 import (
@@ -24,11 +29,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"piersearch/internal/dht"
 	"piersearch/internal/pier"
 	"piersearch/internal/piersearch"
+	"piersearch/internal/store"
 	"piersearch/internal/wire"
 )
 
@@ -37,31 +44,77 @@ type publishList []string
 func (p *publishList) String() string     { return strings.Join(*p, ",") }
 func (p *publishList) Set(v string) error { *p = append(*p, v); return nil }
 
+// main delegates to run so the deferred shutdown path (flush the WAL,
+// fsync, release the lock file) executes before the process exits with a
+// meaningful status code — log.Fatalf would skip the defers.
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
 	join := flag.String("join", "", "address of an existing node to bootstrap from")
 	search := flag.String("search", "", "run one keyword query and exit")
 	strategy := flag.String("strategy", "cache", "query strategy: cache or join")
-	daemon := flag.Bool("daemon", false, "keep serving after startup (Ctrl-C to stop)")
+	daemon := flag.Bool("daemon", false, "keep serving after startup (SIGINT/SIGTERM to stop)")
 	stdinPublish := flag.Bool("stdin", false, "publish one filename per stdin line")
+	storeKind := flag.String("store", "mem", "local value store: mem or disk")
+	dataDir := flag.String("data-dir", "piersearch-data", "directory for the disk store's WAL and segments")
+	syncWrites := flag.Bool("sync", false, "fsync every group commit (disk store only)")
 	var publishes publishList
 	flag.Var(&publishes, "publish", "filename to publish (repeatable)")
 	flag.Parse()
 	log.SetFlags(0)
 
+	// One context for the whole process: the first SIGINT/SIGTERM cancels
+	// in-flight queries and unblocks the daemon wait so the deferred
+	// shutdown path runs — the disk store must flush its WAL, fsync and
+	// release its lock file rather than die mid-commit.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	ln, err := wire.Listen(*listen)
 	if err != nil {
-		log.Fatalf("listen: %v", err)
+		log.Printf("listen: %v", err)
+		return 1
+	}
+
+	cfg := dht.Config{Logf: log.Printf}
+	switch *storeKind {
+	case "mem":
+	case "disk":
+		d, err := store.Open(*dataDir, store.Options{Sync: *syncWrites, Logf: log.Printf})
+		if err != nil {
+			log.Printf("open disk store: %v", err)
+			return 1
+		}
+		if rec := d.Recovery(); rec.Values > 0 {
+			log.Printf("recovered %d values from %s", rec.Values, *dataDir)
+		}
+		cfg.NewStorage = func(dht.NodeInfo) (dht.Storage, error) { return d, nil }
+	default:
+		log.Printf("unknown -store %q (want mem or disk)", *storeKind)
+		return 1
 	}
 	transport := wire.NewTCPTransport()
-	defer transport.Close()
-	node := dht.NewNode(dht.NodeInfo{ID: dht.RandomID(), Addr: ln.Addr().String()}, transport, dht.Config{})
+	node := dht.NewNode(dht.NodeInfo{ID: dht.RandomID(), Addr: ln.Addr().String()}, transport, cfg)
 	srv := wire.NewServer(node, ln)
-	go srv.Serve() //nolint:errcheck // closed below
-	defer srv.Close()
+	go srv.Serve()                                //nolint:errcheck // closed below
 	stopJanitor := node.StartJanitor(time.Minute) // reclaim TTL'd postings while serving
-	defer stopJanitor()
-	log.Printf("node %s listening on %s", node.Info().ID.Short(), srv.Addr())
+	defer func() {
+		// Shutdown order: stop serving and calling first, then close the
+		// store so nothing writes to it afterwards.
+		stopJanitor()
+		srv.Close()       //nolint:errcheck // shutting down
+		transport.Close() //nolint:errcheck // shutting down
+		if err := node.Close(); err != nil {
+			log.Printf("close store: %v", err)
+		}
+		if js := node.JanitorStats(); js.Reclaimed > 0 {
+			log.Printf("janitor reclaimed %d expired entries over %d sweeps", js.Reclaimed, js.Sweeps)
+		}
+	}()
+	log.Printf("node %s listening on %s (%s store)", node.Info().ID.Short(), srv.Addr(), *storeKind)
 
 	engine := pier.NewEngine(node, pier.Config{OrderBySelectivity: true})
 	piersearch.RegisterSchemas(engine)
@@ -72,10 +125,12 @@ func main() {
 		seed := dht.NodeInfo{Addr: *join}
 		resp, err := transport.Call(seed, &dht.Request{Kind: dht.RPCPing, From: node.Info()})
 		if err != nil {
-			log.Fatalf("join %s: %v", *join, err)
+			log.Printf("join %s: %v", *join, err)
+			return 1
 		}
 		if err := node.Bootstrap(resp.From); err != nil {
-			log.Fatalf("bootstrap: %v", err)
+			log.Printf("bootstrap: %v", err)
+			return 1
 		}
 		log.Printf("joined network via %s (%d contacts)", *join, node.TableLen())
 	}
@@ -95,7 +150,7 @@ func main() {
 	}
 	if *stdinPublish {
 		sc := bufio.NewScanner(os.Stdin)
-		for sc.Scan() {
+		for sc.Scan() && ctx.Err() == nil {
 			if line := strings.TrimSpace(sc.Text()); line != "" {
 				publishOne(line)
 			}
@@ -107,14 +162,13 @@ func main() {
 		if *strategy == "join" {
 			strat = piersearch.StrategyJoin
 		}
-		// Ctrl-C cancels the in-flight wide-area query; results stream as
-		// they arrive instead of materializing at the end.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		defer stop()
+		// A signal cancels the in-flight wide-area query; results stream
+		// as they arrive instead of materializing at the end.
 		rs, err := piersearch.NewSearch(engine, piersearch.Tokenizer{}).
 			QueryContext(ctx, piersearch.Query{Text: *search, Strategy: strat, Limit: 50})
 		if err != nil {
-			log.Fatalf("search: %v", err)
+			log.Printf("search: %v", err)
+			return 1
 		}
 		n := 0
 		for {
@@ -124,7 +178,8 @@ func main() {
 			}
 			if err != nil {
 				rs.Close()
-				log.Fatalf("search: %v", err)
+				log.Printf("search: %v", err)
+				return 1
 			}
 			n++
 			fmt.Printf("  %-50s %10d bytes  %s:%d\n", r.File.Name, r.File.Size, r.File.Host, r.File.Port)
@@ -135,9 +190,8 @@ func main() {
 	}
 
 	if *daemon {
-		ch := make(chan os.Signal, 1)
-		signal.Notify(ch, os.Interrupt)
-		<-ch
+		<-ctx.Done()
 		log.Println("shutting down")
 	}
+	return 0
 }

@@ -79,6 +79,78 @@ func TestExpireNow(t *testing.T) {
 	}
 }
 
+// TestJanitorStatsExposeReclaimCount pins that sweep results are counted
+// and logged instead of discarded: JanitorStats must report the entries
+// reclaimed by both the ticker and explicit ExpireNow calls, and
+// Config.Logf must see nonzero sweeps.
+func TestJanitorStatsExposeReclaimCount(t *testing.T) {
+	var now atomic.Int64
+	var logged atomic.Int64
+	cfg := Config{
+		TTL:   time.Second,
+		Clock: func() time.Duration { return time.Duration(now.Load()) },
+		Logf:  func(string, ...any) { logged.Add(1) },
+	}
+	net := NewLocalNetwork(1)
+	node := NewNode(NodeInfo{ID: StringID("n"), Addr: "a"}, net, cfg)
+	net.Join(node)
+
+	for i := 0; i < 7; i++ {
+		node.LocalPut(StringID(fmt.Sprintf("k%d", i)), []byte("payload"))
+	}
+	now.Store(int64(2 * time.Second))
+	if removed := node.ExpireNow(); removed != 7 {
+		t.Fatalf("ExpireNow removed %d, want 7", removed)
+	}
+	if js := node.JanitorStats(); js.Reclaimed != 7 {
+		t.Fatalf("JanitorStats.Reclaimed = %d, want 7", js.Reclaimed)
+	}
+
+	// The ticker path accumulates on top and logs its sweeps.
+	for i := 0; i < 5; i++ {
+		node.LocalPut(StringID(fmt.Sprintf("t%d", i)), []byte("payload"))
+	}
+	now.Store(int64(4 * time.Second))
+	stop := node.StartJanitor(time.Millisecond)
+	defer stop()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		js := node.JanitorStats()
+		if js.Reclaimed == 12 && js.Sweeps > 0 && logged.Load() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("janitor stats stuck at %+v (%d log lines)", js, logged.Load())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestNodeStorageInjection pins the Config.NewStorage seam: a node built
+// with a custom factory routes every local operation through it, and
+// Close closes it exactly once.
+func TestNodeStorageInjection(t *testing.T) {
+	custom := NewStore()
+	cfg := Config{NewStorage: func(NodeInfo) (Storage, error) { return custom, nil }}
+	net := NewLocalNetwork(1)
+	node := NewNode(NodeInfo{ID: StringID("n"), Addr: "a"}, net, cfg)
+	net.Join(node)
+
+	if node.Storage() != Storage(custom) {
+		t.Fatal("node did not adopt the injected storage")
+	}
+	node.LocalPut(StringID("k"), []byte("v"))
+	if got := custom.Get(StringID("k"), 0); len(got) != 1 {
+		t.Fatalf("injected store missed the put: %v", got)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+}
+
 // TestStoreShardsIndependent verifies the sweep and concurrent access
 // cross shard boundaries correctly: keys landing in different buckets are
 // all visible, counted, and expired.

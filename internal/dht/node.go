@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +17,20 @@ type Config struct {
 	Replicate int           // number of nodes a value is stored on (default 3)
 	TTL       time.Duration // default value lifetime; 0 means no expiry
 	Clock     func() time.Duration
+
+	// NewStorage constructs the node's local value store. nil selects the
+	// built-in in-memory sharded map (NewStore). Cluster builders invoke
+	// the factory once per node, so one Config can fan a per-node disk
+	// store (store.DiskFactory) across a whole cluster. NewNode panics if
+	// the factory fails; callers that must handle storage-open errors
+	// should open the store first and return the instance from the
+	// factory, or build through NewCluster/NewRealTimeCluster, which
+	// surface factory errors.
+	NewStorage func(self NodeInfo) (Storage, error)
+
+	// Logf, when set, receives operational log lines (janitor sweep
+	// reclaim counts). nil silences them.
+	Logf func(format string, args ...any)
 }
 
 // Normalize fills unset fields with defaults and returns the config.
@@ -72,24 +87,53 @@ type Node struct {
 	self      NodeInfo
 	transport Transport
 	table     *Table
-	store     *Store
+	store     Storage
 
 	mu       sync.Mutex // guards handlers
 	handlers map[string]AppHandler
+
+	closeOnce sync.Once
+	closeErr  error
+
+	janitorSweeps    atomic.Int64
+	janitorReclaimed atomic.Int64
 }
 
 // NewNode creates a node with the given identity, transport and config.
+// It panics if cfg.NewStorage fails; see the Config.NewStorage docs.
 func NewNode(self NodeInfo, transport Transport, cfg Config) *Node {
 	cfg = cfg.Normalize()
+	var store Storage
+	if cfg.NewStorage != nil {
+		st, err := cfg.NewStorage(self)
+		if err != nil {
+			panic(fmt.Sprintf("dht: NewStorage for %s: %v", self.Addr, err))
+		}
+		store = st
+	} else {
+		store = NewStore()
+	}
 	return &Node{
 		info:      cfg,
 		self:      self,
 		transport: transport,
 		table:     NewTable(self.ID, cfg.K),
-		store:     NewStore(),
+		store:     store,
 		handlers:  make(map[string]AppHandler),
 	}
 }
+
+// Close releases the node's local storage: for a disk-backed store this
+// flushes the write-ahead log, fsyncs and releases the lock file. It is
+// idempotent and returns the first close error. Callers must stop the
+// janitor and any transport serving this node first.
+func (n *Node) Close() error {
+	n.closeOnce.Do(func() { n.closeErr = n.store.Close() })
+	return n.closeErr
+}
+
+// Storage returns the node's local value store.
+func (n *Node) Storage() Storage { return n.store }
 
 // Info returns the node's identity.
 func (n *Node) Info() NodeInfo { return n.self }
@@ -106,16 +150,39 @@ func (n *Node) StoreStats() (keys, values, bytes int) {
 }
 
 // ExpireNow sweeps the local store for TTL-expired values immediately and
-// returns how many were removed.
+// returns how many were removed. Reclaimed entries accumulate into
+// JanitorStats whether the sweep was manual or ticker-driven.
 func (n *Node) ExpireNow() int {
-	return n.store.Expire(n.info.Clock())
+	removed := n.store.Expire(n.info.Clock())
+	if removed > 0 {
+		n.janitorReclaimed.Add(int64(removed))
+	}
+	return removed
+}
+
+// JanitorStats are the lifetime soft-state reclamation counters of one
+// node: how many janitor sweeps ran and how many TTL-expired entries were
+// reclaimed (by the ticker and by explicit ExpireNow calls).
+type JanitorStats struct {
+	Sweeps    int64
+	Reclaimed int64
+}
+
+// JanitorStats returns the node's reclamation counters.
+func (n *Node) JanitorStats() JanitorStats {
+	return JanitorStats{
+		Sweeps:    n.janitorSweeps.Load(),
+		Reclaimed: n.janitorReclaimed.Load(),
+	}
 }
 
 // StartJanitor launches the background soft-state janitor: a ticker that
 // sweeps TTL-expired values out of the local store every interval, so
 // long-running deployments actually reclaim dead postings instead of only
 // filtering them lazily on Get. interval <= 0 defaults to one minute. The
-// returned stop function is idempotent and terminates the janitor.
+// reclaimed-entry count of every sweep accumulates into JanitorStats and,
+// when Config.Logf is set, nonzero sweeps are logged. The returned stop
+// function is idempotent and terminates the janitor.
 func (n *Node) StartJanitor(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = time.Minute
@@ -130,7 +197,11 @@ func (n *Node) StartJanitor(interval time.Duration) (stop func()) {
 			case <-done:
 				return
 			case <-t.C:
-				n.ExpireNow()
+				n.janitorSweeps.Add(1)
+				if removed := n.ExpireNow(); removed > 0 && n.info.Logf != nil {
+					n.info.Logf("dht: janitor reclaimed %d expired entries (%d total)",
+						removed, n.janitorReclaimed.Load())
+				}
 			}
 		}
 	}()

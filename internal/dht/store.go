@@ -20,6 +20,50 @@ func (v StoredValue) expired(now time.Duration) bool {
 	return v.TTL > 0 && now > v.StoredAt+v.TTL
 }
 
+// Expired reports whether v is past its TTL at time now. It is the
+// exported form of the expiry rule so Storage implementations outside this
+// package apply exactly the same semantics.
+func (v StoredValue) Expired(now time.Duration) bool { return v.expired(now) }
+
+// Storage is the contract a node-local value store must satisfy. A key
+// maps to a set of values deduplicated by (publisher, payload): Put with a
+// matching pair refreshes StoredAt/TTL in place rather than appending.
+// Implementations must be safe for concurrent use; the concurrent
+// query/publish pipeline drives many operations against one node at once.
+//
+// Two implementations exist: the in-memory sharded map in this package
+// (Store, the default) and the log-structured disk engine in
+// internal/store (store.Disk). The interface lives here rather than in
+// internal/store because package dht must construct its default store
+// without importing the packages that implement the alternatives.
+type Storage interface {
+	// Put inserts v under key, refreshing an existing value with the same
+	// publisher and identical payload. It reports whether the value was new.
+	Put(key ID, v StoredValue) bool
+	// Get returns the live values under key at time now, pruning expired
+	// ones. The returned slice and its payloads must not alias internal
+	// state the implementation will mutate.
+	Get(key ID, now time.Duration) []StoredValue
+	// Delete removes every value under key.
+	Delete(key ID)
+	// Keys returns every key currently present (values may be expired;
+	// Get prunes lazily).
+	Keys() []ID
+	// Len returns the number of keys.
+	Len() int
+	// ValueCount returns the total number of stored values across keys.
+	ValueCount() int
+	// Bytes returns the approximate live payload bytes held.
+	Bytes() int
+	// Expire removes all values past their TTL at time now and returns how
+	// many entries were reclaimed.
+	Expire(now time.Duration) int
+	// Close releases the store's resources (for the disk engine: flush the
+	// write-ahead log, fsync, release the lock file). It must be
+	// idempotent. In-memory stores may treat it as a no-op.
+	Close() error
+}
+
 // storeShards is the number of lock shards. Keys are SHA-1-derived, so the
 // leading ID byte is uniform and a power-of-two mask balances the shards.
 const storeShards = 16
@@ -31,15 +75,19 @@ type storeShard struct {
 	bytes  int
 }
 
-// Store is the node-local key/value store. Values are deduplicated by
+// Store is the in-memory Storage implementation: the node-local key/value
+// store used when Config.NewStorage is unset. Values are deduplicated by
 // (publisher, payload) so republishing refreshes rather than duplicates.
 // It is safe for concurrent use and sharded by ID prefix into
 // independently locked buckets: the concurrent query/publish pipeline has
 // many in-flight RPCs reading and writing one node's store at once, and a
-// single mutex would serialise them all.
+// single mutex would serialise them all. Package internal/store re-exports
+// it as store.Mem alongside the disk-backed store.Disk.
 type Store struct {
 	shards [storeShards]storeShard
 }
+
+var _ Storage = (*Store)(nil)
 
 // NewStore creates an empty store.
 func NewStore() *Store {
@@ -165,6 +213,10 @@ func (s *Store) Bytes() int {
 	}
 	return n
 }
+
+// Close implements Storage. The in-memory store holds no external
+// resources, so it is a no-op.
+func (s *Store) Close() error { return nil }
 
 // Expire removes all values past their TTL at time now and returns how many
 // were removed. The sweep locks one shard at a time, so concurrent reads

@@ -2,11 +2,25 @@ package pier
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"testing"
 
 	"piersearch/internal/dht"
+	"piersearch/internal/store"
 )
+
+// testClusterConfig returns the dht.Config test clusters are built with.
+// PIERSEARCH_STORE=disk swaps every node's store for the log-structured
+// disk engine, running the whole pier suite through the dht.Storage
+// interface against on-disk state (one directory per node).
+func testClusterConfig(t testing.TB) dht.Config {
+	cfg := dht.Config{}
+	if os.Getenv("PIERSEARCH_STORE") == "disk" {
+		cfg.NewStorage = store.DiskFactory(t.TempDir(), store.Options{})
+	}
+	return cfg
+}
 
 // invertedSchema mirrors the paper's Inverted(keyword, fileID) relation.
 var invertedSchema = MustSchema("Inverted",
@@ -36,10 +50,11 @@ type testEnv struct {
 
 func newTestEnv(t *testing.T, n int, cfg Config) *testEnv {
 	t.Helper()
-	cluster, err := dht.NewCluster(n, 99, dht.Config{})
+	cluster, err := dht.NewCluster(n, 99, testClusterConfig(t))
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { cluster.Close() }) //nolint:errcheck // test teardown
 	env := &testEnv{cluster: cluster}
 	for _, node := range cluster.Nodes {
 		e := NewEngine(node, cfg)
@@ -354,10 +369,11 @@ func TestLocalScanOnlySeesLocal(t *testing.T) {
 }
 
 func BenchmarkChainJoinTwoKeywords(b *testing.B) {
-	cluster, err := dht.NewCluster(32, 1, dht.Config{})
+	cluster, err := dht.NewCluster(32, 1, testClusterConfig(b))
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(func() { cluster.Close() }) //nolint:errcheck // test teardown
 	var engines []*Engine
 	for _, node := range cluster.Nodes {
 		e := NewEngine(node, Config{})

@@ -2,10 +2,12 @@ package piersearch
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"piersearch/internal/dht"
 	"piersearch/internal/pier"
+	"piersearch/internal/store"
 )
 
 type env struct {
@@ -15,10 +17,17 @@ type env struct {
 
 func newEnv(t testing.TB, n int) *env {
 	t.Helper()
-	cluster, err := dht.NewCluster(n, 7, dht.Config{})
+	// PIERSEARCH_STORE=disk runs the suite over the log-structured disk
+	// engine, one store directory per node.
+	cfg := dht.Config{}
+	if os.Getenv("PIERSEARCH_STORE") == "disk" {
+		cfg.NewStorage = store.DiskFactory(t.TempDir(), store.Options{})
+	}
+	cluster, err := dht.NewCluster(n, 7, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(func() { cluster.Close() }) //nolint:errcheck // test teardown
 	e := &env{cluster: cluster}
 	for _, node := range cluster.Nodes {
 		eng := pier.NewEngine(node, pier.Config{OrderBySelectivity: true})

@@ -130,7 +130,9 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 // NewRealTimeCluster builds and bootstraps a DHT of n nodes over a
 // RealTime transport, mirroring dht.NewCluster but with wall-clock link
 // latency. Bootstrap pays real latency, so keep n modest (benchmarks use
-// 12-24 nodes).
+// 12-24 nodes). When cfg.NewStorage is set it runs once per node (the
+// disk-backed restart scenarios build their clusters here) and factory
+// errors are returned rather than panicking.
 func NewRealTimeCluster(n int, seed int64, cfg dht.Config, latency LatencyModel) (*RealTime, []*dht.Node, error) {
 	if n <= 0 {
 		return nil, nil, fmt.Errorf("simnet: cluster size %d must be positive", n)
@@ -140,7 +142,18 @@ func NewRealTimeCluster(n int, seed int64, cfg dht.Config, latency LatencyModel)
 	nodes := make([]*dht.Node, 0, n)
 	for i := 0; i < n; i++ {
 		info := dht.NodeInfo{ID: dht.SeededID(rng), Addr: fmt.Sprintf("rt-node-%d", i)}
-		node := dht.NewNode(info, rt, cfg)
+		nodeCfg := cfg
+		if cfg.NewStorage != nil {
+			st, err := cfg.NewStorage(info)
+			if err != nil {
+				for _, prev := range nodes {
+					prev.Close() //nolint:errcheck // best-effort unwind
+				}
+				return nil, nil, fmt.Errorf("simnet: storage for node %d: %w", i, err)
+			}
+			nodeCfg.NewStorage = func(dht.NodeInfo) (dht.Storage, error) { return st, nil }
+		}
+		node := dht.NewNode(info, rt, nodeCfg)
 		rt.Join(node)
 		nodes = append(nodes, node)
 	}
@@ -159,6 +172,9 @@ func NewRealTimeCluster(n int, seed int64, cfg dht.Config, latency LatencyModel)
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			for _, n := range nodes {
+				n.Close() //nolint:errcheck // already failing
+			}
 			return nil, nil, fmt.Errorf("simnet: bootstrap node %d: %w", i, err)
 		}
 	}

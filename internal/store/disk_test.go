@@ -1,0 +1,189 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"piersearch/internal/dht"
+)
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		d.Put(dht.StringID(fmt.Sprintf("key-%d", i)), val("pub", fmt.Sprintf("payload-%04d", i), 0, 0))
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	d2 := openTestDisk(t, dir, Options{})
+	if got := d2.Recovery().Values; got != 100 {
+		t.Fatalf("recovered %d values, want 100", got)
+	}
+	for i := 0; i < 100; i++ {
+		got := d2.Get(dht.StringID(fmt.Sprintf("key-%d", i)), 0)
+		if len(got) != 1 || string(got[0].Data) != fmt.Sprintf("payload-%04d", i) {
+			t.Fatalf("key-%d after reopen: %v", i, got)
+		}
+	}
+}
+
+func TestDiskReopenIsIdempotent(t *testing.T) {
+	// Refreshes must not multiply across close/reopen cycles: the replay
+	// dedups by (publisher, payload) exactly like the live path.
+	dir := t.TempDir()
+	key := dht.StringID("stable")
+	for cycle := 0; cycle < 3; cycle++ {
+		d, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		for i := 0; i < 5; i++ {
+			d.Put(key, val("pub", "same-bytes", time.Duration(i), 0))
+		}
+		if n := d.ValueCount(); n != 1 {
+			t.Fatalf("cycle %d: ValueCount = %d, want 1", cycle, n)
+		}
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDiskDeletePersists(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(dht.StringID("keep"), val("p", "kept", 0, 0))
+	d.Put(dht.StringID("drop"), val("p", "dropped", 0, 0))
+	d.Delete(dht.StringID("drop"))
+	d.Close()
+
+	d2 := openTestDisk(t, dir, Options{})
+	if got := d2.Get(dht.StringID("drop"), 0); got != nil {
+		t.Fatalf("deleted key resurrected after reopen: %v", got)
+	}
+	if got := d2.Get(dht.StringID("keep"), 0); len(got) != 1 {
+		t.Fatalf("kept key lost after reopen: %v", got)
+	}
+}
+
+func TestDiskRotationKeepsValuesReadable(t *testing.T) {
+	d := openTestDisk(t, t.TempDir(), Options{RotateBytes: 512, CompactFraction: -1})
+	for i := 0; i < 200; i++ {
+		d.Put(dht.StringID(fmt.Sprintf("k%d", i)), val("p", fmt.Sprintf("value-%04d", i), 0, 0))
+	}
+	if segs := d.Segments(); segs < 2 {
+		t.Fatalf("expected several sealed segments, got %d", segs)
+	}
+	for i := 0; i < 200; i++ {
+		got := d.Get(dht.StringID(fmt.Sprintf("k%d", i)), 0)
+		if len(got) != 1 || string(got[0].Data) != fmt.Sprintf("value-%04d", i) {
+			t.Fatalf("k%d after rotation: %v", i, got)
+		}
+	}
+}
+
+func TestDiskRecoveryRebasesStoredAt(t *testing.T) {
+	// Values recovered at open are stamped with Options.Now — recovery
+	// acts as a refresh, granting at most one extra TTL (doc.go).
+	dir := t.TempDir()
+	d, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(dht.StringID("k"), val("p", "v", 17*time.Minute, time.Hour))
+	d.Close()
+
+	now := 3 * time.Hour // a clock far past the value's original life
+	d2 := openTestDisk(t, dir, Options{Now: func() time.Duration { return now }})
+	got := d2.Get(dht.StringID("k"), now+30*time.Minute)
+	if len(got) != 1 {
+		t.Fatalf("recovered value expired too early: %v", got)
+	}
+	if got[0].StoredAt != now {
+		t.Fatalf("StoredAt = %v, want rebased to %v", got[0].StoredAt, now)
+	}
+	if got := d2.Get(dht.StringID("k"), now+2*time.Hour); got != nil {
+		t.Fatalf("recovered value outlived its rebased TTL: %v", got)
+	}
+}
+
+func TestDiskCompactReclaimsExpiredAndSuperseded(t *testing.T) {
+	d := openTestDisk(t, t.TempDir(), Options{CompactFraction: -1})
+	// A big cohort of postings that will expire, a few that survive.
+	for i := 0; i < 500; i++ {
+		d.Put(dht.StringID(fmt.Sprintf("dead-%d", i)), val("p", fmt.Sprintf("expiring-payload-%06d", i), 0, time.Second))
+	}
+	for i := 0; i < 10; i++ {
+		d.Put(dht.StringID(fmt.Sprintf("live-%d", i)), val("p", fmt.Sprintf("durable-payload-%06d", i), 0, 0))
+	}
+	before := d.DiskSize()
+	now := time.Minute
+	if n := d.Expire(now); n != 500 {
+		t.Fatalf("Expire = %d, want 500", n)
+	}
+	if err := d.Compact(now); err != nil {
+		t.Fatal(err)
+	}
+	after := d.DiskSize()
+	if after >= before/5 {
+		t.Fatalf("compaction reclaimed too little: %d -> %d bytes", before, after)
+	}
+	for i := 0; i < 10; i++ {
+		got := d.Get(dht.StringID(fmt.Sprintf("live-%d", i)), now)
+		if len(got) != 1 || string(got[0].Data) != fmt.Sprintf("durable-payload-%06d", i) {
+			t.Fatalf("live-%d lost in compaction: %v", i, got)
+		}
+	}
+	// And the compacted state must survive a reopen.
+	dir := d.dir
+	d.Close()
+	d2 := openTestDisk(t, dir, Options{})
+	if n := d2.Recovery().Values; n != 10 {
+		t.Fatalf("recovered %d values after compaction, want 10", n)
+	}
+}
+
+func TestDiskAutoCompaction(t *testing.T) {
+	// With aggressive thresholds, expiring most of the store must shrink
+	// it without an explicit Compact call.
+	d := openTestDisk(t, t.TempDir(), Options{
+		RotateBytes:     2048,
+		CompactFraction: 0.25,
+		CompactMinBytes: 1,
+	})
+	for i := 0; i < 300; i++ {
+		d.Put(dht.StringID(fmt.Sprintf("k%d", i)), val("p", fmt.Sprintf("auto-compact-payload-%06d", i), 0, time.Second))
+	}
+	before := d.DiskSize()
+	d.Expire(time.Minute)
+	deadline := time.Now().Add(5 * time.Second)
+	for d.DiskSize() >= before/2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("background compaction never reclaimed space: %d -> %d", before, d.DiskSize())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestDiskPutAfterCloseIsRejected(t *testing.T) {
+	d, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if d.Put(dht.StringID("k"), val("p", "v", 0, 0)) {
+		t.Fatal("Put on closed store reported success")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

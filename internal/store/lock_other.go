@@ -1,0 +1,26 @@
+//go:build !unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// lockDir on platforms without flock keeps the LOCK file open without an
+// advisory lock: single-process discipline is up to the operator there.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: lock: %w", err)
+	}
+	return f, nil
+}
+
+func unlockDir(f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	return f.Close()
+}

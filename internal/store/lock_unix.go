@@ -1,0 +1,35 @@
+//go:build unix
+
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// lockDir takes an exclusive advisory flock on <dir>/LOCK, preventing two
+// store instances from appending to the same logs. flock follows the open
+// file description, so a crashed process's lock dies with it and recovery
+// can reopen the directory without manual cleanup.
+func lockDir(dir string) (*os.File, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: lock: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %s is locked by a running store: %w", dir, err)
+	}
+	return f, nil
+}
+
+// unlockDir releases the advisory lock.
+func unlockDir(f *os.File) error {
+	if f == nil {
+		return nil
+	}
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN) //nolint:errcheck // close releases it regardless
+	return f.Close()
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"time"
+
+	"piersearch/internal/codec"
+	"piersearch/internal/dht"
+)
+
+// The WAL and sealed segments share one file format; see doc.go for the
+// full spec. logMagic/logVersion head every file.
+var logMagic = [4]byte{'P', 'S', 'L', 'G'}
+
+const (
+	logVersion = 1
+	headerLen  = 5 // magic + version byte
+	crcLen     = 4
+
+	opPut    = 1
+	opDelete = 2
+
+	// maxRecordLen bounds a single record payload. It is far above any
+	// real posting tuple and exists so a corrupt length prefix cannot
+	// size an allocation.
+	maxRecordLen = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTornTail marks a log whose tail is incomplete or fails its checksum —
+// the signature of a crash mid-commit. Replay keeps everything before the
+// torn region; the opener truncates the rest away.
+var errTornTail = errors.New("store: torn log tail")
+
+// record is one decoded log record.
+type record struct {
+	op       byte
+	key      dht.ID
+	pub      dht.ID
+	storedAt time.Duration
+	ttl      time.Duration
+	data     []byte // aliases the decode buffer; copy to retain
+	dataOff  int    // offset of data within the record payload (puts only)
+}
+
+// appendRecord appends the wire form of one record to dst and returns the
+// extended buffer plus the offset of the payload's data bytes relative to
+// the start of the appended region (-1 for deletes).
+func appendRecord(dst []byte, op byte, key dht.ID, v dht.StoredValue) ([]byte, int) {
+	payload := codec.GetBuf()
+	payload = codec.AppendByte(payload, op)
+	payload = key.AppendWire(payload)
+	dataOff := -1
+	if op == opPut {
+		payload = v.Publisher.AppendWire(payload)
+		payload = codec.AppendVarint(payload, int64(v.StoredAt))
+		payload = codec.AppendVarint(payload, int64(v.TTL))
+		payload = codec.AppendUvarint(payload, uint64(len(v.Data)))
+		dataOff = len(payload)
+		payload = append(payload, v.Data...)
+	}
+	start := len(dst)
+	dst = codec.AppendUvarint(dst, uint64(len(payload)))
+	prefix := len(dst) - start
+	dst = append(dst, payload...)
+	sum := crc32.Checksum(payload, crcTable)
+	dst = append(dst, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
+	if dataOff >= 0 {
+		dataOff += prefix
+	}
+	codec.PutBuf(payload)
+	return dst, dataOff
+}
+
+// decodeRecordPayload decodes one CRC-verified record payload.
+func decodeRecordPayload(payload []byte) (record, error) {
+	r := codec.NewReader(payload)
+	var rec record
+	rec.op = r.Byte()
+	rec.key = dht.ReadID(r)
+	switch rec.op {
+	case opPut:
+		rec.pub = dht.ReadID(r)
+		rec.storedAt = time.Duration(r.Varint())
+		rec.ttl = time.Duration(r.Varint())
+		n := r.Uvarint()
+		rec.dataOff = len(payload) - r.Len()
+		rec.data = r.Take(int(n))
+	case opDelete:
+	default:
+		if r.Err() == nil {
+			return rec, fmt.Errorf("store: unknown record op %d", rec.op)
+		}
+	}
+	if err := r.Finish(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// appendHeader appends the file header.
+func appendHeader(dst []byte) []byte {
+	dst = append(dst, logMagic[:]...)
+	return append(dst, logVersion)
+}
+
+// readUvarintCount reads a LEB128 integer from br, reporting how many
+// bytes it consumed. A clean io.EOF before the first byte signals the end
+// of the log; any other short read is a torn record.
+func readUvarintCount(br *bufio.Reader) (uint64, int, error) {
+	var x uint64
+	var s uint
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			if i == 0 && err == io.EOF {
+				return 0, 0, io.EOF
+			}
+			return 0, i, io.ErrUnexpectedEOF
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, i + 1, errors.New("store: uvarint overflow")
+			}
+			return x | uint64(b)<<s, i + 1, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, binary.MaxVarintLen64, errors.New("store: uvarint overflow")
+}
+
+// replayLog reads the header then streams records from r (size bytes in
+// total), invoking fn with each verified record and the absolute file
+// offset where the record's payload begins. It returns clean, the offset
+// just past the last fully verified record. A truncated or checksum-failed
+// tail returns errTornTail with clean marking where the rot starts; a bad
+// header returns a hard error. fn errors abort the replay as-is.
+func replayLog(r io.Reader, size int64, fn func(rec record, payloadOff int64) error) (clean int64, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return 0, errTornTail // header never fully made it to disk
+	}
+	if [4]byte(hdr[:4]) != logMagic {
+		return 0, fmt.Errorf("store: bad log magic %x", hdr[:4])
+	}
+	if hdr[4] != logVersion {
+		return 0, fmt.Errorf("store: unsupported log version %d", hdr[4])
+	}
+	off := int64(headerLen)
+	var buf []byte
+	for {
+		ln, n, uerr := readUvarintCount(br)
+		if uerr == io.EOF {
+			return off, nil // clean end of log
+		}
+		if uerr != nil {
+			return off, errTornTail
+		}
+		// A record must fit in what remains of the file: anything larger
+		// is a torn tail (or hostile corruption) and must not size an
+		// allocation.
+		if ln > maxRecordLen || int64(ln) > size-off-int64(n)-crcLen {
+			return off, errTornTail
+		}
+		need := int(ln) + crcLen
+		if cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		frame := buf[:need]
+		if _, err := io.ReadFull(br, frame); err != nil {
+			return off, errTornTail
+		}
+		body := frame[:ln]
+		if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(frame[ln:]) {
+			return off, errTornTail
+		}
+		rec, derr := decodeRecordPayload(body)
+		if derr != nil {
+			return off, errTornTail
+		}
+		if err := fn(rec, off+int64(n)); err != nil {
+			return off, err
+		}
+		off += int64(n) + int64(need)
+	}
+}

@@ -1,0 +1,155 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"piersearch/internal/dht"
+)
+
+// The conformance suite runs the same battery against both Storage
+// implementations: dht.Node must behave identically whichever backs it.
+
+func openTestDisk(t *testing.T, dir string, opts Options) *Disk {
+	t.Helper()
+	d, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("open disk store: %v", err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func forEachStorage(t *testing.T, fn func(t *testing.T, s dht.Storage)) {
+	t.Helper()
+	impls := map[string]func(t *testing.T) dht.Storage{
+		"mem":  func(t *testing.T) dht.Storage { return NewMem() },
+		"disk": func(t *testing.T) dht.Storage { return openTestDisk(t, t.TempDir(), Options{}) },
+	}
+	for name, mk := range impls {
+		t.Run(name, func(t *testing.T) { fn(t, mk(t)) })
+	}
+}
+
+func val(pub string, data string, at, ttl time.Duration) dht.StoredValue {
+	return dht.StoredValue{Data: []byte(data), Publisher: dht.StringID(pub), StoredAt: at, TTL: ttl}
+}
+
+func TestStoragePutGetRefresh(t *testing.T) {
+	forEachStorage(t, func(t *testing.T, s dht.Storage) {
+		key := dht.StringID("k")
+		if !s.Put(key, val("p1", "hello", 0, 0)) {
+			t.Fatal("first put not new")
+		}
+		if s.Put(key, val("p1", "hello", 5, time.Minute)) {
+			t.Fatal("refresh reported as new")
+		}
+		if s.Put(key, val("p2", "hello", 0, 0)) != true {
+			t.Fatal("different publisher should be new")
+		}
+		if !s.Put(key, val("p1", "other", 0, 0)) {
+			t.Fatal("different payload should be new")
+		}
+		got := s.Get(key, 1)
+		if len(got) != 3 {
+			t.Fatalf("got %d values, want 3", len(got))
+		}
+		var refreshed *dht.StoredValue
+		for i := range got {
+			if got[i].Publisher == dht.StringID("p1") && string(got[i].Data) == "hello" {
+				refreshed = &got[i]
+			}
+		}
+		if refreshed == nil || refreshed.StoredAt != 5 || refreshed.TTL != time.Minute {
+			t.Fatalf("refresh did not update StoredAt/TTL: %+v", refreshed)
+		}
+		if n := s.ValueCount(); n != 3 {
+			t.Fatalf("ValueCount = %d, want 3", n)
+		}
+		if n := s.Len(); n != 1 {
+			t.Fatalf("Len = %d, want 1", n)
+		}
+		want := len("hello") + len("hello") + len("other")
+		if n := s.Bytes(); n != want {
+			t.Fatalf("Bytes = %d, want %d", n, want)
+		}
+	})
+}
+
+func TestStorageExpiry(t *testing.T) {
+	forEachStorage(t, func(t *testing.T, s dht.Storage) {
+		kShort := dht.StringID("short")
+		kLong := dht.StringID("long")
+		s.Put(kShort, val("p", "dies", 0, time.Second))
+		s.Put(kLong, val("p", "lives", 0, time.Hour))
+		if got := s.Get(kShort, 500*time.Millisecond); len(got) != 1 {
+			t.Fatalf("pre-expiry Get = %d values", len(got))
+		}
+		// Get prunes lazily.
+		if got := s.Get(kShort, 2*time.Second); got != nil {
+			t.Fatalf("post-expiry Get = %v, want nil", got)
+		}
+		// Expire sweeps and reports the count.
+		s.Put(kShort, val("p", "dies", 0, time.Second))
+		s.Put(kShort, val("q", "dies2", 0, time.Second))
+		if n := s.Expire(time.Minute); n != 2 {
+			t.Fatalf("Expire = %d, want 2", n)
+		}
+		if n := s.Expire(time.Minute); n != 0 {
+			t.Fatalf("second Expire = %d, want 0", n)
+		}
+		if got := s.Get(kLong, time.Minute); len(got) != 1 || string(got[0].Data) != "lives" {
+			t.Fatalf("survivor Get = %v", got)
+		}
+		if n := s.Bytes(); n != len("lives") {
+			t.Fatalf("Bytes after expiry = %d, want %d", n, len("lives"))
+		}
+	})
+}
+
+func TestStorageDeleteAndKeys(t *testing.T) {
+	forEachStorage(t, func(t *testing.T, s dht.Storage) {
+		for i := 0; i < 10; i++ {
+			s.Put(dht.StringID(fmt.Sprintf("k%d", i)), val("p", fmt.Sprintf("v%d", i), 0, 0))
+		}
+		if n := len(s.Keys()); n != 10 {
+			t.Fatalf("Keys = %d, want 10", n)
+		}
+		s.Delete(dht.StringID("k3"))
+		s.Delete(dht.StringID("k7"))
+		if n := s.Len(); n != 8 {
+			t.Fatalf("Len after delete = %d, want 8", n)
+		}
+		if got := s.Get(dht.StringID("k3"), 0); got != nil {
+			t.Fatalf("deleted key still returns %v", got)
+		}
+		if got := s.Get(dht.StringID("k5"), 0); len(got) != 1 {
+			t.Fatalf("surviving key lost: %v", got)
+		}
+	})
+}
+
+func TestStorageConcurrent(t *testing.T) {
+	forEachStorage(t, func(t *testing.T, s dht.Storage) {
+		const workers = 8
+		const perWorker = 50
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					key := dht.StringID(fmt.Sprintf("key-%d", i%16))
+					s.Put(key, val(fmt.Sprintf("w%d", w), fmt.Sprintf("payload-%d-%d", w, i), 0, 0))
+					s.Get(key, 0)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if n := s.ValueCount(); n != workers*perWorker {
+			t.Fatalf("ValueCount = %d, want %d", n, workers*perWorker)
+		}
+	})
+}
