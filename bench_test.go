@@ -369,7 +369,7 @@ func ablationEnv(b *testing.B, order bool) []*pier.Engine {
 	}
 	pub := func(i int, name string) {
 		f := piersearch.File{Name: name, Size: 1000, Host: "10.0.0.1", Port: 6346}
-		if _, err := piersearch.NewPublisher(engines[i%24], piersearch.ModeBoth, piersearch.Tokenizer{}).Publish(f); err != nil {
+		if _, err := piersearch.NewPublisher(engines[i%24], piersearch.ModeBoth, piersearch.Tokenizer{}).PublishFile(f); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,17 +1,26 @@
-// Command piersearch runs a standalone PIERSearch node over real TCP: it
-// serves a Kademlia DHT node, joins an existing network, publishes shared
-// files and answers keyword queries — the building block of the paper's
-// hybrid ultrapeer, runnable by hand.
+// Command piersearch is both halves of the network query service.
 //
-// Start a first node with a persistent on-disk store:
+// Daemon mode runs a standalone PIERSearch node over real TCP: it serves
+// a Kademlia DHT node, joins an existing network, publishes shared files,
+// and — with -serve — answers the streaming query-service protocol so
+// remote clients can search without joining the DHT:
 //
-//	piersearch -listen 127.0.0.1:4000 -store disk -data-dir /var/lib/piersearch -daemon
+//	piersearch -listen 127.0.0.1:4000 -serve 127.0.0.1:4100 \
+//	    -store disk -data-dir /var/lib/piersearch -max-queries 32 -daemon
 //
-// Join it, publish and search:
+// More nodes join the DHT side and publish:
 //
 //	piersearch -listen 127.0.0.1:4001 -join 127.0.0.1:4000 \
 //	    -publish "Madonna - Like a Prayer.mp3" -publish "Rare Demo Tape.mp3"
-//	piersearch -listen 127.0.0.1:4002 -join 127.0.0.1:4000 -search "rare demo"
+//
+// Client mode (-connect) is the other half of the split: a thin process
+// that never joins the DHT. It submits queries and publishes to a daemon
+// over the streaming protocol; results print as the daemon's plan
+// produces them:
+//
+//	piersearch -connect 127.0.0.1:4100 -search "rare demo"
+//	piersearch -connect 127.0.0.1:4100 -search "rare demo" -explain
+//	piersearch -connect 127.0.0.1:4100 -publish "My Shared Mix.mp3"
 //
 // A disk-backed daemon that is restarted with the same -data-dir recovers
 // its replicas from the write-ahead log and serves them without anyone
@@ -35,6 +44,7 @@ import (
 	"piersearch/internal/dht"
 	"piersearch/internal/pier"
 	"piersearch/internal/piersearch"
+	"piersearch/internal/service"
 	"piersearch/internal/store"
 	"piersearch/internal/wire"
 )
@@ -52,10 +62,15 @@ func main() {
 }
 
 func run() int {
-	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address")
+	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address for the DHT node (daemon mode)")
 	join := flag.String("join", "", "address of an existing node to bootstrap from")
+	serve := flag.String("serve", "", "TCP listen address for the query service (empty = not served)")
+	connect := flag.String("connect", "", "query-service daemon to talk to (client mode: no DHT node is started)")
 	search := flag.String("search", "", "run one keyword query and exit")
 	strategy := flag.String("strategy", "cache", "query strategy: cache or join")
+	limit := flag.Int("limit", 50, "max results per query")
+	explain := flag.Bool("explain", false, "print the query plan before the results")
+	maxQueries := flag.Int("max-queries", 64, "admission control: concurrent queries the daemon executes before shedding")
 	daemon := flag.Bool("daemon", false, "keep serving after startup (SIGINT/SIGTERM to stop)")
 	stdinPublish := flag.Bool("stdin", false, "publish one filename per stdin line")
 	storeKind := flag.String("store", "mem", "local value store: mem or disk")
@@ -73,27 +88,136 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	ln, err := wire.Listen(*listen)
+	strat := piersearch.StrategyCache
+	if *strategy == "join" {
+		strat = piersearch.StrategyJoin
+	}
+
+	if *connect != "" {
+		return runClient(ctx, *connect, *search, strat, *limit, *explain, publishes, *stdinPublish)
+	}
+	return runDaemon(ctx, daemonConfig{
+		listen: *listen, join: *join, serve: *serve, search: *search,
+		strat: strat, limit: *limit, explain: *explain, maxQueries: *maxQueries,
+		daemon: *daemon, stdinPublish: *stdinPublish, storeKind: *storeKind,
+		dataDir: *dataDir, syncWrites: *syncWrites, publishes: publishes,
+	})
+}
+
+// --- client mode -------------------------------------------------------------
+
+// runClient is the thin half of the client/daemon split: it talks the
+// streaming query-service protocol to a daemon and never touches the DHT.
+func runClient(ctx context.Context, addr, search string, strat piersearch.Strategy, limit int, explain bool, publishes publishList, stdinPublish bool) int {
+	client := service.Dial(addr)
+	defer client.Close()
+
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "localhost"
+	}
+	publishOne := func(name string) bool {
+		f := piersearch.File{Name: name, Size: int64(len(name)) * 1000, Host: host, Port: 6346}
+		stats, err := client.Publish(ctx, f, piersearch.ModeBoth)
+		if err != nil {
+			log.Printf("publish %q: %v", name, err)
+			return false
+		}
+		log.Printf("published %q via %s: %d tuples, %d bytes", name, addr, stats.Tuples, stats.Bytes)
+		return true
+	}
+	for _, name := range publishes {
+		if !publishOne(name) {
+			return 1
+		}
+	}
+	if stdinPublish {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() && ctx.Err() == nil {
+			if line := strings.TrimSpace(sc.Text()); line != "" {
+				publishOne(line)
+			}
+		}
+	}
+
+	if search != "" {
+		q := piersearch.Query{Text: search, Strategy: strat, Limit: limit}
+		if explain {
+			text, err := client.Explain(ctx, q)
+			if err != nil {
+				log.Printf("explain: %v", err)
+				return 1
+			}
+			fmt.Printf("plan for %q on %s:\n%s\n", search, addr, text)
+		}
+		rs, err := client.Query(ctx, q)
+		if err != nil {
+			log.Printf("search: %v", err)
+			return 1
+		}
+		defer rs.Close()
+		if code := printResults(rs, search, strat); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// printResults streams a result set to stdout, then its cost line.
+func printResults(rs *piersearch.ResultStream, query string, strat piersearch.Strategy) int {
+	n := 0
+	for {
+		r, err := rs.Next()
+		if errors.Is(err, piersearch.ErrDone) {
+			break
+		}
+		if err != nil {
+			log.Printf("search: %v", err)
+			return 1
+		}
+		n++
+		fmt.Printf("  %-50s %10d bytes  %s:%d\n", r.File.Name, r.File.Size, r.File.Host, r.File.Port)
+	}
+	stats := rs.Stats()
+	fmt.Printf("%d results for %q (%v, %d msgs, %d bytes, %v)\n",
+		n, query, strat, stats.Messages, stats.Bytes, stats.Wall.Round(time.Millisecond))
+	return 0
+}
+
+// --- daemon mode -------------------------------------------------------------
+
+type daemonConfig struct {
+	listen, join, serve, search   string
+	strat                         piersearch.Strategy
+	limit, maxQueries             int
+	explain, daemon, stdinPublish bool
+	storeKind, dataDir            string
+	syncWrites                    bool
+	publishes                     publishList
+}
+
+func runDaemon(ctx context.Context, dc daemonConfig) int {
+	ln, err := wire.Listen(dc.listen)
 	if err != nil {
 		log.Printf("listen: %v", err)
 		return 1
 	}
 
 	cfg := dht.Config{Logf: log.Printf}
-	switch *storeKind {
+	switch dc.storeKind {
 	case "mem":
 	case "disk":
-		d, err := store.Open(*dataDir, store.Options{Sync: *syncWrites, Logf: log.Printf})
+		d, err := store.Open(dc.dataDir, store.Options{Sync: dc.syncWrites, Logf: log.Printf})
 		if err != nil {
 			log.Printf("open disk store: %v", err)
 			return 1
 		}
 		if rec := d.Recovery(); rec.Values > 0 {
-			log.Printf("recovered %d values from %s", rec.Values, *dataDir)
+			log.Printf("recovered %d values from %s", rec.Values, dc.dataDir)
 		}
 		cfg.NewStorage = func(dht.NodeInfo) (dht.Storage, error) { return d, nil }
 	default:
-		log.Printf("unknown -store %q (want mem or disk)", *storeKind)
+		log.Printf("unknown -store %q (want mem or disk)", dc.storeKind)
 		return 1
 	}
 	transport := wire.NewTCPTransport()
@@ -114,41 +238,59 @@ func run() int {
 			log.Printf("janitor reclaimed %d expired entries over %d sweeps", js.Reclaimed, js.Sweeps)
 		}
 	}()
-	log.Printf("node %s listening on %s (%s store)", node.Info().ID.Short(), srv.Addr(), *storeKind)
+	log.Printf("node %s listening on %s (%s store)", node.Info().ID.Short(), srv.Addr(), dc.storeKind)
 
 	engine := pier.NewEngine(node, pier.Config{OrderBySelectivity: true})
 	piersearch.RegisterSchemas(engine)
+	searcher := piersearch.NewSearch(engine, piersearch.Tokenizer{})
+	pub := piersearch.NewPublisher(engine, piersearch.ModeBoth, piersearch.Tokenizer{})
 
-	if *join != "" {
+	// The query service: remote clients search and publish through this
+	// node without joining the DHT themselves.
+	if dc.serve != "" {
+		svcLn, err := wire.Listen(dc.serve)
+		if err != nil {
+			log.Printf("serve: %v", err)
+			return 1
+		}
+		svc := service.NewServer(svcLn, searcher, pub, service.Options{
+			MaxQueries: dc.maxQueries,
+			Logf:       log.Printf,
+		})
+		go svc.Serve() //nolint:errcheck // closed below
+		defer svc.Close()
+		log.Printf("query service on %s (max %d concurrent queries)", svc.Addr(), dc.maxQueries)
+	}
+
+	if dc.join != "" {
 		// The seed's ID is learned from its ping response; bootstrap only
 		// needs its address.
-		seed := dht.NodeInfo{Addr: *join}
+		seed := dht.NodeInfo{Addr: dc.join}
 		resp, err := transport.Call(seed, &dht.Request{Kind: dht.RPCPing, From: node.Info()})
 		if err != nil {
-			log.Printf("join %s: %v", *join, err)
+			log.Printf("join %s: %v", dc.join, err)
 			return 1
 		}
 		if err := node.Bootstrap(resp.From); err != nil {
 			log.Printf("bootstrap: %v", err)
 			return 1
 		}
-		log.Printf("joined network via %s (%d contacts)", *join, node.TableLen())
+		log.Printf("joined network via %s (%d contacts)", dc.join, node.TableLen())
 	}
 
-	pub := piersearch.NewPublisher(engine, piersearch.ModeBoth, piersearch.Tokenizer{})
 	publishOne := func(name string) {
 		f := piersearch.File{Name: name, Size: int64(len(name)) * 1000, Host: srv.Addr(), Port: 6346}
-		stats, err := pub.Publish(f)
+		stats, err := pub.PublishFile(f)
 		if err != nil {
 			log.Printf("publish %q: %v", name, err)
 			return
 		}
 		log.Printf("published %q: %d tuples, %d bytes", name, stats.Tuples, stats.Bytes)
 	}
-	for _, name := range publishes {
+	for _, name := range dc.publishes {
 		publishOne(name)
 	}
-	if *stdinPublish {
+	if dc.stdinPublish {
 		sc := bufio.NewScanner(os.Stdin)
 		for sc.Scan() && ctx.Err() == nil {
 			if line := strings.TrimSpace(sc.Text()); line != "" {
@@ -157,39 +299,31 @@ func run() int {
 		}
 	}
 
-	if *search != "" {
-		strat := piersearch.StrategyCache
-		if *strategy == "join" {
-			strat = piersearch.StrategyJoin
+	if dc.search != "" {
+		q := piersearch.Query{Text: dc.search, Strategy: dc.strat, Limit: dc.limit}
+		if dc.explain {
+			text, err := searcher.Explain(q)
+			if err != nil {
+				log.Printf("explain: %v", err)
+				return 1
+			}
+			fmt.Printf("plan for %q:\n%s\n", dc.search, text)
 		}
 		// A signal cancels the in-flight wide-area query; results stream
-		// as they arrive instead of materializing at the end.
-		rs, err := piersearch.NewSearch(engine, piersearch.Tokenizer{}).
-			QueryContext(ctx, piersearch.Query{Text: *search, Strategy: strat, Limit: 50})
+		// as they arrive instead of materializing at the end. This is the
+		// same executor the query service runs for remote clients.
+		rs, err := searcher.QueryContext(ctx, q)
 		if err != nil {
 			log.Printf("search: %v", err)
 			return 1
 		}
-		n := 0
-		for {
-			r, err := rs.Next()
-			if errors.Is(err, piersearch.ErrDone) {
-				break
-			}
-			if err != nil {
-				rs.Close()
-				log.Printf("search: %v", err)
-				return 1
-			}
-			n++
-			fmt.Printf("  %-50s %10d bytes  %s:%d\n", r.File.Name, r.File.Size, r.File.Host, r.File.Port)
+		defer rs.Close()
+		if code := printResults(rs, dc.search, dc.strat); code != 0 {
+			return code
 		}
-		stats := rs.Stats()
-		rs.Close()
-		fmt.Printf("%d results for %q (%v, %d msgs, %d bytes)\n", n, *search, strat, stats.Messages, stats.Bytes)
 	}
 
-	if *daemon {
+	if dc.daemon {
 		<-ctx.Done()
 		log.Println("shutting down")
 	}

@@ -62,7 +62,7 @@ func main() {
 	for i, name := range library {
 		pub := piersearch.NewPublisher(engines[i%n], piersearch.ModeBoth, piersearch.Tokenizer{})
 		f := piersearch.File{Name: name, Size: 3_000_000, Host: servers[i%n].Addr(), Port: 6346}
-		stats, err := pub.Publish(f)
+		stats, err := pub.PublishFile(f)
 		if err != nil {
 			log.Fatal(err)
 		}

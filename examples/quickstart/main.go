@@ -1,7 +1,9 @@
 // Quickstart: build an in-process PIERSearch network, publish a few files
 // and run keyword queries with both query plans through the streaming
 // plan API — results arrive incrementally and a context cancels or
-// deadlines the whole wide-area query.
+// deadlines the whole wide-area query. The finale serves the same engine
+// through the network query service and searches it with a thin client
+// that never joins the DHT.
 //
 //	go run ./examples/quickstart
 package main
@@ -16,6 +18,8 @@ import (
 	"piersearch/internal/dht"
 	"piersearch/internal/pier"
 	"piersearch/internal/piersearch"
+	"piersearch/internal/service"
+	"piersearch/internal/wire"
 )
 
 func main() {
@@ -45,7 +49,7 @@ func main() {
 	}
 	for i, f := range files {
 		pub := piersearch.NewPublisher(engines[i%len(engines)], piersearch.ModeBoth, piersearch.Tokenizer{})
-		stats, err := pub.Publish(f)
+		stats, err := pub.PublishFile(f)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,4 +100,45 @@ func main() {
 		fmt.Printf("\nfirst madonna hit, then stop: %s (%s)\n", r.File.Name, r.File.Host)
 	}
 	rs.Close()
+
+	// 6. The client/daemon split: serve node 20's engine as a query-service
+	// daemon on a real TCP socket, then search it from a client that holds
+	// no DHT node at all — the paper's deployment shape, where queries are
+	// handed to the network instead of executed by the caller's library.
+	ln, err := wire.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	daemon := service.NewServer(ln, search,
+		piersearch.NewPublisher(engines[20], piersearch.ModeBoth, piersearch.Tokenizer{}),
+		service.Options{MaxQueries: 8})
+	go daemon.Serve() //nolint:errcheck // closed below
+	defer daemon.Close()
+
+	client := service.Dial(daemon.Addr())
+	defer client.Close()
+	plan, err := client.Explain(context.Background(), piersearch.Query{Text: "madonna prayer", Strategy: piersearch.StrategyJoin})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndaemon %s would run:\n%s\n", daemon.Addr(), plan)
+
+	remote, err := client.Query(context.Background(), piersearch.Query{Text: "madonna prayer", Strategy: piersearch.StrategyJoin})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nresults streamed from the daemon over TCP:")
+	for {
+		r, err := remote.Next()
+		if errors.Is(err, piersearch.ErrDone) {
+			break
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-42s %s:%d\n", r.File.Name, r.File.Host, r.File.Port)
+	}
+	stats := remote.Stats()
+	remote.Close()
+	fmt.Printf("  -> daemon spent %d msgs, %.1f KB answering\n", stats.Messages, float64(stats.Bytes)/1024)
 }

@@ -146,7 +146,7 @@ func (u *Ultrapeer) ObserveResults(refs []gnutella.FileRef) error {
 		if u.published[id] {
 			continue
 		}
-		stats, err := u.pub.Publish(f)
+		stats, err := u.pub.PublishFile(f)
 		if err != nil {
 			return err
 		}
@@ -167,7 +167,7 @@ func (u *Ultrapeer) PublishLocal(host gnutella.HostID) error {
 		if u.published[id] {
 			continue
 		}
-		stats, err := u.pub.Publish(f)
+		stats, err := u.pub.PublishFile(f)
 		if err != nil {
 			return err
 		}

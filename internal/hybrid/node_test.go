@@ -70,7 +70,7 @@ func TestHybridQueryFallsBackToPIER(t *testing.T) {
 	rare := piersearch.File{Name: "hidden rarity bootleg.mp3", Size: 999, Host: "10.9.9.9", Port: 6346}
 	if _, err := piersearch.NewPublisher(
 		pierEngineOf(t, env, 1), piersearch.ModeInverted, piersearch.Tokenizer{},
-	).Publish(rare); err != nil {
+	).PublishFile(rare); err != nil {
 		t.Fatal(err)
 	}
 	out, err := env.hybrids[0].Query("hidden rarity", []string{"hidden", "rarity"})

@@ -23,7 +23,7 @@ func Example() {
 	}
 
 	pub := piersearch.NewPublisher(engines[0], piersearch.ModeBoth, piersearch.Tokenizer{})
-	stats, err := pub.Publish(piersearch.File{
+	stats, err := pub.PublishFile(piersearch.File{
 		Name: "Basement Demo - Hidden Track.mp3",
 		Size: 2_000_000, Host: "10.0.0.4", Port: 6346,
 	})

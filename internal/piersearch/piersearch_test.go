@@ -58,7 +58,7 @@ func testFiles() []File {
 func publishAll(t testing.TB, e *env) {
 	t.Helper()
 	for i, f := range testFiles() {
-		if _, err := e.publisher(i % len(e.engines)).Publish(f); err != nil {
+		if _, err := e.publisher(i % len(e.engines)).PublishFile(f); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -189,7 +189,7 @@ func TestSearchLimit(t *testing.T) {
 	e := newEnv(t, 24)
 	for i := 0; i < 10; i++ {
 		f := File{Name: fmt.Sprintf("shared keyword track%02d.mp3", i), Size: 1000, Host: fmt.Sprintf("10.1.0.%d", i), Port: 6346}
-		if _, err := e.publisher(i % len(e.engines)).Publish(f); err != nil {
+		if _, err := e.publisher(i % len(e.engines)).PublishFile(f); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -208,7 +208,7 @@ func TestPublishStatsAndModes(t *testing.T) {
 	e := newEnv(t, 16)
 	f := File{Name: "one two three.mp3", Size: 1, Host: "h", Port: 1}
 
-	sInv, err := NewPublisher(e.engines[0], ModeInverted, Tokenizer{}).Publish(f)
+	sInv, err := NewPublisher(e.engines[0], ModeInverted, Tokenizer{}).PublishFile(f)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestPublishStatsAndModes(t *testing.T) {
 	}
 
 	f2 := File{Name: "one two three.mp3", Size: 1, Host: "h2", Port: 1}
-	sCache, err := NewPublisher(e.engines[1], ModeInvertedCache, Tokenizer{}).Publish(f2)
+	sCache, err := NewPublisher(e.engines[1], ModeInvertedCache, Tokenizer{}).PublishFile(f2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestPublishStatsAndModes(t *testing.T) {
 	}
 
 	f3 := File{Name: "one two three.mp3", Size: 1, Host: "h3", Port: 1}
-	sBoth, err := NewPublisher(e.engines[2], ModeBoth, Tokenizer{}).Publish(f3)
+	sBoth, err := NewPublisher(e.engines[2], ModeBoth, Tokenizer{}).PublishFile(f3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestPublishStatsAndModes(t *testing.T) {
 
 func TestPublishUnindexableFile(t *testing.T) {
 	e := newEnv(t, 8)
-	if _, err := e.publisher(0).Publish(File{Name: "...", Size: 1, Host: "h", Port: 1}); err == nil {
+	if _, err := e.publisher(0).PublishFile(File{Name: "...", Size: 1, Host: "h", Port: 1}); err == nil {
 		t.Error("unindexable file accepted")
 	}
 }
@@ -272,7 +272,7 @@ func TestCacheQueryCheaperForMultiKeyword(t *testing.T) {
 	e := newEnv(t, 32)
 	for i := 0; i < 40; i++ {
 		f := File{Name: fmt.Sprintf("britney spears hit%02d.mp3", i), Size: 1000, Host: fmt.Sprintf("10.2.0.%d", i), Port: 6346}
-		if _, err := e.publisher(i % len(e.engines)).Publish(f); err != nil {
+		if _, err := e.publisher(i % len(e.engines)).PublishFile(f); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -318,7 +318,7 @@ func BenchmarkPublish(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		f := File{Name: fmt.Sprintf("artist%02d album track%03d.mp3", i%50, i), Size: int64(i), Host: "10.0.0.9", Port: 6346}
-		if _, err := pub.Publish(f); err != nil {
+		if _, err := pub.PublishFile(f); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -328,7 +328,7 @@ func BenchmarkSearchJoin(b *testing.B) {
 	e := newEnv(b, 32)
 	for i := 0; i < 100; i++ {
 		f := File{Name: fmt.Sprintf("artist%02d common track%03d.mp3", i%10, i), Size: int64(i), Host: "10.0.0.9", Port: 6346}
-		if _, err := e.publisher(i % 32).Publish(f); err != nil {
+		if _, err := e.publisher(i % 32).PublishFile(f); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -343,7 +343,7 @@ func BenchmarkSearchCache(b *testing.B) {
 	e := newEnv(b, 32)
 	for i := 0; i < 100; i++ {
 		f := File{Name: fmt.Sprintf("artist%02d common track%03d.mp3", i%10, i), Size: int64(i), Host: "10.0.0.9", Port: 6346}
-		if _, err := e.publisher(i % 32).Publish(f); err != nil {
+		if _, err := e.publisher(i % 32).PublishFile(f); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -128,7 +128,7 @@ func TestPlanMatchesLegacyOnTraceQueries(t *testing.T) {
 			Name: f.Name, Size: int64(1_000_000 + rank),
 			Host: fmt.Sprintf("10.9.%d.%d", rank/200, rank%200), Port: 6346,
 		}
-		if _, err := e.publisher(rank % len(e.engines)).Publish(file); err != nil {
+		if _, err := e.publisher(rank % len(e.engines)).PublishFile(file); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -179,7 +179,7 @@ func TestPlanMatchesLegacyWithLimit(t *testing.T) {
 	for i := 0; i < 12; i++ {
 		f := File{Name: fmt.Sprintf("shared keyword track%02d.mp3", i), Size: 1000,
 			Host: fmt.Sprintf("10.8.0.%d", i), Port: 6346}
-		if _, err := e.publisher(i % len(e.engines)).Publish(f); err != nil {
+		if _, err := e.publisher(i % len(e.engines)).PublishFile(f); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -206,7 +206,7 @@ func TestStreamEarlyTermination(t *testing.T) {
 	for i := 0; i < 16; i++ {
 		f := File{Name: fmt.Sprintf("common term song%02d.mp3", i), Size: 1000,
 			Host: fmt.Sprintf("10.7.0.%d", i), Port: 6346}
-		if _, err := e.publisher(i % len(e.engines)).Publish(f); err != nil {
+		if _, err := e.publisher(i % len(e.engines)).PublishFile(f); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -66,6 +66,16 @@ func (p *Publisher) WithWorkers(n int) *Publisher {
 	return p
 }
 
+// WithMode returns a copy of p that publishes under mode. Unlike
+// WithWorkers it does not mutate p: the query-service daemon derives a
+// per-request publisher from one shared template, and requests must not
+// race each other's mode.
+func (p *Publisher) WithMode(mode PublishMode) *Publisher {
+	q := *p
+	q.mode = mode
+	return &q
+}
+
 // tuples expands f into its index tuples under the configured mode.
 func (p *Publisher) tuples(f File, keywords []string) []pier.Pub {
 	pubs := make([]pier.Pub, 0, 1+2*len(keywords))
@@ -107,9 +117,6 @@ func (p *Publisher) PublishFile(f File) (PublishStats, error) {
 	}
 	return stats, nil
 }
-
-// Publish is PublishFile under its historical name.
-func (p *Publisher) Publish(f File) (PublishStats, error) { return p.PublishFile(f) }
 
 // PublishAll publishes a batch of files, accumulating stats. It stops at
 // the first error, returning the stats accumulated so far.

@@ -1,0 +1,113 @@
+package piersearch
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/pier"
+	"piersearch/internal/plan"
+)
+
+func newStreamEnv(t *testing.T) *Search {
+	t.Helper()
+	cluster, err := dht.NewCluster(6, 1, dht.Config{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engines := make([]*pier.Engine, len(cluster.Nodes))
+	for i, node := range cluster.Nodes {
+		engines[i] = pier.NewEngine(node, pier.Config{OrderBySelectivity: true})
+		RegisterSchemas(engines[i])
+	}
+	pub := NewPublisher(engines[1], ModeBoth, Tokenizer{})
+	for _, name := range []string{"delta epsilon one.mp3", "delta epsilon two.mp3"} {
+		if _, err := pub.PublishFile(File{Name: name, Size: 10, Host: "10.1.1.1", Port: 6346}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return NewSearch(engines[0], Tokenizer{})
+}
+
+// Regression: Next after Close must report clean exhaustion (ErrDone), not
+// race the released plan, and a double Close must be a nil no-op.
+func TestResultStreamNextAfterClose(t *testing.T) {
+	search := newStreamEnv(t)
+	rs, err := search.QueryContext(context.Background(), Query{Text: "delta epsilon", Strategy: StrategyJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Next(); err != nil {
+		t.Fatalf("first Next: %v", err)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rs.Next(); !errors.Is(err, ErrDone) {
+			t.Fatalf("Next after Close = %v, want ErrDone", err)
+		}
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatalf("double Close = %v, want nil", err)
+	}
+	if err := rs.Close(); err != nil {
+		t.Fatalf("triple Close = %v, want nil", err)
+	}
+}
+
+// A stream that died with an execution error keeps reporting that error,
+// not ErrDone, even after Close.
+func TestResultStreamErrorSticks(t *testing.T) {
+	search := newStreamEnv(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // dead on arrival: the first Next observes the canceled context
+	rs, err := search.QueryContext(ctx, Query{Text: "delta epsilon", Strategy: StrategyJoin})
+	if err != nil {
+		// Open itself may observe the cancel; that is also a valid outcome.
+		if !errors.Is(err, plan.ErrCanceled) {
+			t.Fatalf("QueryContext = %v, want ErrCanceled", err)
+		}
+		return
+	}
+	_, err = rs.Next()
+	if !errors.Is(err, plan.ErrCanceled) {
+		t.Fatalf("Next under canceled ctx = %v, want ErrCanceled", err)
+	}
+	rs.Close()
+	if _, err := rs.Next(); !errors.Is(err, plan.ErrCanceled) {
+		t.Fatalf("Next after error+Close = %v, want the sticky error", err)
+	}
+}
+
+// Stats and Explain stay readable after Close.
+func TestResultStreamStatsAfterClose(t *testing.T) {
+	search := newStreamEnv(t)
+	rs, err := search.QueryContext(context.Background(), Query{Text: "delta epsilon", Strategy: StrategyCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for {
+		_, err := rs.Next()
+		if errors.Is(err, ErrDone) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	rs.Close()
+	if n != 2 {
+		t.Fatalf("%d results, want 2", n)
+	}
+	stats := rs.Stats()
+	if stats.Messages == 0 || stats.Wall == 0 {
+		t.Errorf("post-close stats empty: %+v", stats)
+	}
+	if rs.Explain() == "" {
+		t.Error("post-close Explain empty for a plan-backed stream")
+	}
+}

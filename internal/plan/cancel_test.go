@@ -43,7 +43,7 @@ func newRTEnv(t testing.TB) []*pier.Engine {
 			Size: int64(2000 + i), Host: fmt.Sprintf("10.4.0.%d", i), Port: 6346,
 		}
 		pub := piersearch.NewPublisher(engines[i%len(engines)], piersearch.ModeBoth, piersearch.Tokenizer{})
-		if _, err := pub.Publish(f); err != nil {
+		if _, err := pub.PublishFile(f); err != nil {
 			t.Fatal(err)
 		}
 	}

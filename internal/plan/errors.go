@@ -39,6 +39,17 @@ func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
 
 func (e *canceledError) Unwrap() error { return e.cause }
 
+// Canceled wraps cause (typically chaining to context.Canceled or
+// context.DeadlineExceeded) so the result also matches ErrCanceled —
+// for layers outside this package, like the network query service's
+// client, that surface cancellation through the same sentinel.
+func Canceled(cause error) error {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	return &canceledError{cause: cause}
+}
+
 // ctxWrap classifies err: failures for which the operator's context is
 // responsible come back tagged with ErrCanceled, everything else passes
 // through unchanged. Operators route every error they surface through it.

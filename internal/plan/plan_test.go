@@ -208,7 +208,7 @@ func newClusterEnv(t testing.TB, n int) *clusterEnv {
 			Size: int64(1000 + i), Host: fmt.Sprintf("10.3.0.%d", i), Port: 6346,
 		}
 		pub := piersearch.NewPublisher(env.engines[i%n], piersearch.ModeBoth, piersearch.Tokenizer{})
-		if _, err := pub.Publish(f); err != nil {
+		if _, err := pub.PublishFile(f); err != nil {
 			t.Fatal(err)
 		}
 	}

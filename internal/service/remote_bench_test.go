@@ -1,0 +1,81 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"piersearch/internal/piersearch"
+	"piersearch/internal/service"
+)
+
+// benchEnv builds one shared daemon deployment for the remote-query
+// benchmarks: mild per-RPC latency so the item-fetch phase has a shape,
+// enough files that a full drain is visibly longer than the first batch.
+func benchEnv(b *testing.B) *service.Client {
+	e := newEnv(b, 6, 24, service.Options{BatchSize: 4})
+	e.transport.Delay = 2 * time.Millisecond
+	client := service.Dial(e.daemon.Addr())
+	b.Cleanup(func() { client.Close() })
+	return client
+}
+
+// BenchmarkRemoteQueryTTFR measures time-to-first-result of a streaming
+// remote query — the latency a user actually perceives — and reports it
+// alongside the full drain time, quantifying what batch-at-the-end
+// delivery would cost (ttfr-ns vs drain-ns per op).
+func BenchmarkRemoteQueryTTFR(b *testing.B) {
+	client := benchEnv(b)
+	q := piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyJoin, Workers: 2}
+	var ttfr, drainTime time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		rs, err := client.Query(context.Background(), q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := rs.Next(); err != nil {
+			b.Fatal(err)
+		}
+		ttfr += time.Since(start)
+		n := 1
+		for {
+			_, err := rs.Next()
+			if errors.Is(err, piersearch.ErrDone) {
+				break
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		drainTime += time.Since(start)
+		rs.Close()
+		if n != 24 {
+			b.Fatalf("%d results, want 24", n)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(ttfr.Nanoseconds())/float64(b.N), "ttfr-ns/op")
+	b.ReportMetric(float64(drainTime.Nanoseconds())/float64(b.N), "drain-ns/op")
+}
+
+// BenchmarkRemoteQueryBatch is the non-streaming comparison: the caller
+// materializes the full result set before looking at any of it, so the
+// perceived latency IS the drain time.
+func BenchmarkRemoteQueryBatch(b *testing.B) {
+	client := benchEnv(b)
+	q := piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyJoin, Workers: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := drainErr(client.Query(context.Background(), q))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) != 24 {
+			b.Fatalf("%d results, want 24", len(out))
+		}
+	}
+}

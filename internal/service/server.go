@@ -1,0 +1,367 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"piersearch/internal/piersearch"
+	"piersearch/internal/plan"
+	"piersearch/internal/wire"
+)
+
+// Options tune a daemon.
+type Options struct {
+	// MaxQueries bounds concurrently executing queries across all client
+	// connections — the admission control. Excess OpenQuery requests are
+	// refused immediately with CodeOverloaded rather than queued, so a
+	// saturated daemon degrades by shedding load, not by growing latency.
+	// 0 means 64.
+	MaxQueries int
+	// BatchSize caps results per Batch frame. The first result of every
+	// query is flushed alone regardless, so time-to-first-result does not
+	// wait for a batch to fill. 0 means 16.
+	BatchSize int
+	// Logf, if set, receives one line per refused or failed query.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) maxQueries() int {
+	if o.MaxQueries <= 0 {
+		return 64
+	}
+	return o.MaxQueries
+}
+
+// maxBatchBytes bounds one Batch frame's result payload well under the
+// transport's MaxFrame, so batching long filenames can never assemble an
+// unsendable frame.
+const maxBatchBytes = 1 << 20
+
+func (o Options) batchSize() int {
+	if o.BatchSize <= 0 {
+		return 16
+	}
+	return o.BatchSize
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Server is a query-service daemon: it accepts mux sessions on a
+// listener and answers the protocol of this package by executing query
+// plans on its own node and streaming batches back.
+type Server struct {
+	search *piersearch.Search
+	pub    *piersearch.Publisher
+	opts   Options
+	ln     net.Listener
+	sem    chan struct{}
+
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	muxes  map[*wire.Mux]bool
+}
+
+// NewServer builds a daemon serving search (required) and pub (optional:
+// nil refuses Publish requests) on ln.
+func NewServer(ln net.Listener, search *piersearch.Search, pub *piersearch.Publisher, opts Options) *Server {
+	return &Server{
+		search: search,
+		pub:    pub,
+		opts:   opts,
+		ln:     ln,
+		sem:    make(chan struct{}, opts.maxQueries()),
+		muxes:  make(map[*wire.Mux]bool),
+	}
+}
+
+// Addr returns the daemon's listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// ActiveQueries returns the number of queries currently admitted — the
+// quantity MaxQueries bounds.
+func (s *Server) ActiveQueries() int { return len(s.sem) }
+
+// Serve accepts client connections until Close. Each connection becomes a
+// mux session carrying any number of concurrent request streams.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		m := wire.NewServerMux(conn, func(st *wire.Stream, opening []byte) {
+			// The Add is ordered against Close's Wait by s.mu: either this
+			// handler registers before Close flips the flag, or it observes
+			// the flag and backs out.
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				st.Close()
+				return
+			}
+			s.wg.Add(1)
+			s.mu.Unlock()
+			defer s.wg.Done()
+			s.handleStream(st, opening)
+		})
+		s.muxes[m] = true
+		// Ordered against Close's Wait while still under s.mu, like the
+		// stream-handler Add above.
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			<-m.Done()
+			s.mu.Lock()
+			delete(s.muxes, m)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, severs every client session, and waits for
+// handlers to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	muxes := make([]*wire.Mux, 0, len(s.muxes))
+	for m := range s.muxes {
+		muxes = append(muxes, m)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, m := range muxes {
+		m.Close()
+	}
+	s.wg.Wait()
+}
+
+// sendError best-effort ships a typed error and ends the stream. Bounded:
+// a vanished peer must not pin the handler on a starved Send.
+func (s *Server) sendError(st *wire.Stream, e *Error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	st.Send(ctx, EncodeError(e)) //nolint:errcheck // peer may be gone
+	st.CloseSend()               //nolint:errcheck // peer may be gone
+	st.Close()
+}
+
+// handleStream answers one request stream.
+func (s *Server) handleStream(st *wire.Stream, opening []byte) {
+	// The version byte sits right after the kind byte in every request
+	// message — an offset that is invariant across protocol versions — so
+	// it is checked before the strict body decode. A future version whose
+	// body layout differs then gets the documented CodeVersion answer,
+	// not a misleading bad-request from trailing-bytes validation.
+	if len(opening) >= 2 {
+		switch opening[0] {
+		case MsgOpenQuery, MsgExplain, MsgPublish:
+			if opening[1] != Version {
+				s.sendError(st, &Error{Code: CodeVersion,
+					Msg: fmt.Sprintf("daemon speaks version %d, request is version %d", Version, opening[1])})
+				return
+			}
+		}
+	}
+	msg, err := Decode(opening)
+	if err != nil {
+		s.opts.logf("service: bad request: %v", err)
+		s.sendError(st, &Error{Code: CodeBadRequest, Msg: err.Error()})
+		return
+	}
+	switch m := msg.(type) {
+	case *OpenQuery:
+		s.handleQuery(st, m)
+	case *ExplainQuery:
+		s.handleExplain(st, m)
+	case *PublishReq:
+		s.handlePublish(st, m)
+	default:
+		s.sendError(st, &Error{Code: CodeBadRequest, Msg: fmt.Sprintf("unexpected opening message %T", msg)})
+	}
+}
+
+func toQuery(m *OpenQuery) piersearch.Query {
+	return piersearch.Query{Text: m.Text, Strategy: m.Strategy, Limit: m.Limit, Workers: m.Workers}
+}
+
+// classify maps an execution error to a protocol error: cancellations and
+// unanswerable requests get their own codes so a client's retry policy can
+// tell "don't retry this query" from "the daemon failed, retry elsewhere".
+func classify(err error) *Error {
+	switch {
+	case errors.Is(err, plan.ErrCanceled):
+		return &Error{Code: CodeCanceled, Msg: err.Error()}
+	case errors.Is(err, piersearch.ErrInvalidQuery):
+		return &Error{Code: CodeBadRequest, Msg: err.Error()}
+	default:
+		return &Error{Code: CodeInternal, Msg: err.Error()}
+	}
+}
+
+// handleQuery executes one streaming query: admission, plan execution on
+// this node, batches pushed under flow control, Done with the final stats
+// and cost profile.
+func (s *Server) handleQuery(st *wire.Stream, m *OpenQuery) {
+	defer st.Close()
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.opts.logf("service: query %q refused: %d queries already running", m.Text, cap(s.sem))
+		s.sendError(st, &Error{Code: CodeOverloaded, Msg: fmt.Sprintf("daemon at its limit of %d concurrent queries", cap(s.sem))})
+		return
+	}
+
+	// The query context ends when the client cancels (MsgCancel or stream
+	// reset), the connection dies, or this handler returns.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for {
+			p, err := st.Recv(ctx)
+			if err != nil {
+				// Reset, connection death, or our own exit canceling ctx:
+				// stop the query either way. (A graceful client never
+				// half-closes a query stream, so io.EOF also means gone.)
+				cancel()
+				return
+			}
+			if len(p) > 0 && p[0] == MsgCancel {
+				cancel()
+				return
+			}
+		}
+	}()
+	defer func() { cancel(); <-watchDone }()
+
+	rs, err := s.search.QueryContext(ctx, toQuery(m))
+	if err != nil {
+		if ctx.Err() == nil {
+			// Compile failures carry ErrInvalidQuery → bad-request; a plan
+			// whose Open died executing the match phase is the daemon's
+			// problem → internal, so the client knows a retry can help.
+			s.opts.logf("service: query %q failed to open: %v", m.Text, err)
+			s.sendError(st, classify(err))
+		}
+		return
+	}
+	defer rs.Close()
+
+	batchSize := s.opts.batchSize()
+	pending := make([]piersearch.Result, 0, batchSize)
+	pendingBytes := 0
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		err := st.Send(ctx, EncodeBatch(pending))
+		pending, pendingBytes = pending[:0], 0
+		if errors.Is(err, wire.ErrFrameTooLarge) && ctx.Err() == nil {
+			// A single result too big for any frame: this query fails,
+			// the client's other streams live on.
+			s.sendError(st, &Error{Code: CodeInternal, Msg: err.Error()})
+		}
+		return err
+	}
+	first := true
+	for {
+		r, err := rs.Next()
+		if errors.Is(err, piersearch.ErrDone) {
+			break
+		}
+		if err != nil {
+			if ctx.Err() == nil {
+				s.opts.logf("service: query %q died mid-stream: %v", m.Text, err)
+				flush() //nolint:errcheck // stream already failing
+				s.sendError(st, classify(err))
+			}
+			return
+		}
+		pending = append(pending, r)
+		pendingBytes += r.File.ItemTuple().EncodedSize()
+		// The first result ships alone so the client's time-to-first-result
+		// tracks the match phase; afterwards results batch up to BatchSize
+		// results or maxBatchBytes, whichever the plan hits first — the
+		// byte bound keeps a batch of long-named items far from the frame
+		// limit, where an oversized payload would kill the query.
+		if first || len(pending) >= batchSize || pendingBytes >= maxBatchBytes {
+			if flush() != nil {
+				return
+			}
+			first = false
+		}
+	}
+	if flush() != nil {
+		return
+	}
+	done := Done{Stats: rs.Stats(), Explain: rs.Explain()}
+	if st.Send(ctx, EncodeDone(done)) != nil {
+		return
+	}
+	st.CloseSend() //nolint:errcheck // stream ends either way
+}
+
+// handleExplain compiles the query and returns the plan without executing
+// anything.
+func (s *Server) handleExplain(st *wire.Stream, m *ExplainQuery) {
+	defer st.Close()
+	text, err := s.search.Explain(toQuery(&m.OpenQuery))
+	if err != nil {
+		s.sendError(st, &Error{Code: CodeBadRequest, Msg: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if st.Send(ctx, EncodeExplainResult(text)) != nil {
+		return
+	}
+	st.CloseSend() //nolint:errcheck // stream ends either way
+}
+
+// handlePublish indexes one file through the daemon's publisher.
+func (s *Server) handlePublish(st *wire.Stream, m *PublishReq) {
+	defer st.Close()
+	if s.pub == nil {
+		s.sendError(st, &Error{Code: CodeBadRequest, Msg: "daemon does not accept publishes"})
+		return
+	}
+	if m.Mode < piersearch.ModeInverted || m.Mode > piersearch.ModeBoth {
+		s.sendError(st, &Error{Code: CodeBadRequest, Msg: fmt.Sprintf("unknown publish mode %d", m.Mode)})
+		return
+	}
+	stats, err := s.pub.WithMode(m.Mode).PublishFile(m.File)
+	if err != nil {
+		s.sendError(st, &Error{Code: CodeBadRequest, Msg: err.Error()})
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if st.Send(ctx, EncodePublishDone(PublishDone{Stats: stats})) != nil {
+		return
+	}
+	st.CloseSend() //nolint:errcheck // stream ends either way
+}

@@ -1,0 +1,427 @@
+package service_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/pier"
+	"piersearch/internal/piersearch"
+	"piersearch/internal/plan"
+	"piersearch/internal/service"
+	"piersearch/internal/wire"
+)
+
+// env is a real-TCP deployment: a DHT cluster served over loopback
+// sockets, one query-service daemon on the first node, and published
+// files. The client side never joins the DHT.
+type env struct {
+	transport *wire.TCPTransport
+	engines   []*pier.Engine
+	daemon    *service.Server
+}
+
+func newEnv(t testing.TB, nodes, nfiles int, opts service.Options) *env {
+	t.Helper()
+	transport := wire.NewTCPTransport()
+	t.Cleanup(transport.Close)
+	dhtNodes := make([]*dht.Node, nodes)
+	engines := make([]*pier.Engine, nodes)
+	for i := range dhtNodes {
+		ln, err := wire.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dhtNodes[i] = dht.NewNode(dht.NodeInfo{ID: dht.RandomID(), Addr: ln.Addr().String()}, transport, dht.Config{})
+		srv := wire.NewServer(dhtNodes[i], ln)
+		go srv.Serve() //nolint:errcheck // closed in cleanup
+		t.Cleanup(srv.Close)
+		engines[i] = pier.NewEngine(dhtNodes[i], pier.Config{OrderBySelectivity: true})
+		piersearch.RegisterSchemas(engines[i])
+	}
+	for i := 1; i < nodes; i++ {
+		if err := dhtNodes[i].Bootstrap(dhtNodes[0].Info()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub := piersearch.NewPublisher(engines[1%nodes], piersearch.ModeBoth, piersearch.Tokenizer{})
+	for i := 0; i < nfiles; i++ {
+		f := piersearch.File{
+			Name: fmt.Sprintf("common stream track%02d.mp3", i),
+			Size: int64(1000 + i), Host: fmt.Sprintf("10.7.0.%d", i), Port: 6346,
+		}
+		if _, err := pub.PublishFile(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The daemon executes queries on node 0 and accepts remote publishes.
+	ln, err := wire.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	daemon := service.NewServer(ln,
+		piersearch.NewSearch(engines[0], piersearch.Tokenizer{}),
+		piersearch.NewPublisher(engines[0], piersearch.ModeBoth, piersearch.Tokenizer{}),
+		opts)
+	go daemon.Serve() //nolint:errcheck // closed in cleanup
+	t.Cleanup(daemon.Close)
+	return &env{transport: transport, engines: engines, daemon: daemon}
+}
+
+func drain(t testing.TB, rs *piersearch.ResultStream) []piersearch.Result {
+	t.Helper()
+	var out []piersearch.Result
+	for {
+		r, err := rs.Next()
+		if errors.Is(err, piersearch.ErrDone) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+		out = append(out, r)
+	}
+}
+
+func sortResults(rs []piersearch.Result) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].File.Name != rs[j].File.Name {
+			return rs[i].File.Name < rs[j].File.Name
+		}
+		return rs[i].File.Host < rs[j].File.Host
+	})
+}
+
+// TestClientDaemonEndToEnd: a client that never joined the DHT queries a
+// daemon over real TCP with both strategies and gets exactly the results
+// an in-process caller gets.
+func TestClientDaemonEndToEnd(t *testing.T) {
+	e := newEnv(t, 6, 8, service.Options{})
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+	ctx := context.Background()
+
+	local := piersearch.NewSearch(e.engines[2], piersearch.Tokenizer{})
+	for _, strat := range []piersearch.Strategy{piersearch.StrategyJoin, piersearch.StrategyCache} {
+		rs, err := client.Query(ctx, piersearch.Query{Text: "common stream", Strategy: strat})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		remote := drain(t, rs)
+		stats := rs.Stats()
+		rs.Close()
+
+		want, _, err := local.Query("common stream", strat, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sortResults(remote)
+		if len(remote) != len(want) {
+			t.Fatalf("%v: remote %d results, local %d", strat, len(remote), len(want))
+		}
+		for i := range want {
+			if remote[i] != want[i] {
+				t.Errorf("%v result %d: remote %+v, local %+v", strat, i, remote[i], want[i])
+			}
+		}
+		if stats.Messages == 0 || stats.Keywords != 2 {
+			t.Errorf("%v: daemon stats not shipped: %+v", strat, stats)
+		}
+		if stats.Strategy != strat {
+			t.Errorf("stats strategy = %v, want %v", stats.Strategy, strat)
+		}
+	}
+}
+
+// TestRemoteStreamingTTFR pins the tentpole behavior: the first result
+// batch reaches the client while the daemon is still executing the rest
+// of the query, so time-to-first-result beats the full-query wall time.
+func TestRemoteStreamingTTFR(t *testing.T) {
+	e := newEnv(t, 6, 24, service.Options{BatchSize: 4})
+	// Wide-area latency on every DHT hop from here on: the item-fetch
+	// phase becomes the dominant, batch-by-batch cost.
+	e.transport.Delay = 15 * time.Millisecond
+
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+
+	start := time.Now()
+	rs, err := client.Query(context.Background(), piersearch.Query{
+		Text: "common stream", Strategy: piersearch.StrategyJoin, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if _, err := rs.Next(); err != nil {
+		t.Fatalf("first result: %v", err)
+	}
+	ttfr := time.Since(start)
+	rest := drain(t, rs)
+	total := time.Since(start)
+	if len(rest) != 23 {
+		t.Fatalf("%d results after the first, want 23", len(rest))
+	}
+	if ttfr >= total {
+		t.Errorf("TTFR %v did not beat full-query wall time %v: stream is not streaming", ttfr, total)
+	}
+	t.Logf("TTFR %v vs full drain %v (%d results)", ttfr, total, len(rest)+1)
+}
+
+// TestCancelMidStreamNoLeak: canceling an in-flight remote query severs
+// the stream promptly, cancels the daemon-side plan (admission slot
+// drains), and leaves no goroutines behind on either side.
+func TestCancelMidStreamNoLeak(t *testing.T) {
+	e := newEnv(t, 6, 24, service.Options{BatchSize: 2})
+	e.transport.Delay = 10 * time.Millisecond
+
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+
+	// Warm the session with the same query shape first: the baseline must
+	// include the mux read loops AND the DHT connection pool this query
+	// populates (each pooled conn keeps a server-side handler goroutine
+	// alive by design — pool growth is not a leak).
+	warm, err := client.Query(context.Background(), piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyJoin, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, warm)
+	warm.Close()
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	rs, err := client.Query(ctx, piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyJoin, Workers: 1})
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if _, err := rs.Next(); err != nil {
+		cancel()
+		t.Fatalf("first result: %v", err)
+	}
+	cancel()
+	for {
+		_, err := rs.Next()
+		if err == nil {
+			continue // results already on the wire may still surface
+		}
+		if !errors.Is(err, plan.ErrCanceled) {
+			t.Errorf("post-cancel Next = %v, want plan.ErrCanceled", err)
+		}
+		break
+	}
+	rs.Close()
+
+	// Both the daemon's handler (admission slot) and every goroutine the
+	// canceled query spawned must drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if e.daemon.ActiveQueries() == 0 && runtime.NumGoroutine() <= base {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	t.Errorf("after cancel: %d active queries, %d goroutines (baseline %d)\n%s",
+		e.daemon.ActiveQueries(), runtime.NumGoroutine(), base, buf[:runtime.Stack(buf, true)])
+}
+
+// TestAdmissionControl: a daemon at MaxQueries sheds the next query with
+// CodeOverloaded instead of queueing it, and admits again once a slot
+// frees.
+func TestAdmissionControl(t *testing.T) {
+	e := newEnv(t, 6, 24, service.Options{MaxQueries: 1, BatchSize: 1})
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+	ctx := context.Background()
+
+	// Query 1 fills the only slot and stalls: the client does not consume,
+	// so the daemon blocks on flow control with the slot held.
+	rs1, err := client.Query(ctx, piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs1.Next(); err != nil {
+		t.Fatalf("query 1 first result: %v", err)
+	}
+	waitFor(t, func() bool { return e.daemon.ActiveQueries() == 1 })
+
+	_, err = drainErr(client.Query(ctx, piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyCache}))
+	var se *service.Error
+	if !errors.As(err, &se) || se.Code != service.CodeOverloaded {
+		t.Fatalf("second query error = %v, want CodeOverloaded", err)
+	}
+
+	// Releasing query 1 frees the slot; the daemon admits again.
+	drain(t, rs1)
+	rs1.Close()
+	waitFor(t, func() bool { return e.daemon.ActiveQueries() == 0 })
+	rs3, err := client.Query(ctx, piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyCache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, rs3); len(got) != 24 {
+		t.Errorf("post-release query: %d results, want 24", len(got))
+	}
+	rs3.Close()
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition never held")
+}
+
+// drainErr consumes a stream until its first error.
+func drainErr(rs *piersearch.ResultStream, err error) ([]piersearch.Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	defer rs.Close()
+	var out []piersearch.Result
+	for {
+		r, err := rs.Next()
+		if errors.Is(err, piersearch.ErrDone) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}
+
+// TestRemoteExplain: the daemon renders the plan it would run, without
+// executing it; a completed remote stream ships the executed profile.
+func TestRemoteExplain(t *testing.T) {
+	e := newEnv(t, 6, 4, service.Options{})
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+	ctx := context.Background()
+
+	text, err := client.Explain(ctx, piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyJoin, Limit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ChainJoin(Inverted", "Limit(n=10)", "tuples=0"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("explain missing %q:\n%s", want, text)
+		}
+	}
+
+	rs, err := client.Query(ctx, piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyJoin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, rs)
+	profile := rs.Explain()
+	rs.Close()
+	if !strings.Contains(profile, "msgs=") {
+		t.Errorf("executed remote profile missing traffic:\n%s", profile)
+	}
+}
+
+// TestRemotePublish: a client indexes a file through the daemon, and a
+// subsequent remote query finds it.
+func TestRemotePublish(t *testing.T) {
+	e := newEnv(t, 6, 2, service.Options{})
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+	ctx := context.Background()
+
+	f := piersearch.File{Name: "remotely published rarity.mp3", Size: 777, Host: "10.9.9.9", Port: 6346}
+	stats, err := client.Publish(ctx, f, piersearch.ModeBoth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Tuples == 0 || stats.Keywords != 3 {
+		t.Errorf("publish stats = %+v", stats)
+	}
+	got, err := drainErr(client.Query(ctx, piersearch.Query{Text: "remotely rarity", Strategy: piersearch.StrategyJoin}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].File != f {
+		t.Fatalf("remote publish not found: %+v", got)
+	}
+}
+
+func dialTCP(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// TestVersionRefused: a request from a future protocol version gets
+// CodeVersion, not a guess.
+func TestVersionRefused(t *testing.T) {
+	e := newEnv(t, 4, 0, service.Options{})
+	conn, err := dialTCP(e.daemon.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := wire.NewClientMux(conn)
+	defer m.Close()
+	st, err := m.Open(service.EncodeOpenQuery(service.OpenQuery{Version: 99, Text: "x"}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	p, err := st.Recv(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := service.Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, ok := msg.(*service.Error)
+	if !ok || se.Code != service.CodeVersion {
+		t.Fatalf("version-99 answer = %#v, want CodeVersion error", msg)
+	}
+
+	// A future version whose body layout v1 cannot even parse must still
+	// get CodeVersion — the version byte's offset is the invariant.
+	future := append(service.EncodeOpenQuery(service.OpenQuery{Version: 2, Text: "x"}), 0xAA, 0xBB)
+	st2, err := m.Open(future, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	p2, err := st2.Recv(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg2, err := service.Decode(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se2, ok := msg2.(*service.Error)
+	if !ok || se2.Code != service.CodeVersion {
+		t.Fatalf("future-layout answer = %#v, want CodeVersion error", msg2)
+	}
+}
+
+// TestBadQueryRefused: an unanswerable query (no indexable keywords)
+// comes back as CodeBadRequest through the stream.
+func TestBadQueryRefused(t *testing.T) {
+	e := newEnv(t, 4, 0, service.Options{})
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+	_, err := drainErr(client.Query(context.Background(), piersearch.Query{Text: "...", Strategy: piersearch.StrategyJoin}))
+	var se *service.Error
+	if !errors.As(err, &se) || se.Code != service.CodeBadRequest {
+		t.Fatalf("empty-keyword query error = %v, want CodeBadRequest", err)
+	}
+}

@@ -40,7 +40,7 @@ func TestDiskBackedClusterRunsPierPipeline(t *testing.T) {
 	pub := piersearch.NewPublisher(engines[0], piersearch.ModeBoth, piersearch.Tokenizer{})
 	for i := 0; i < 8; i++ {
 		f := piersearch.File{Name: fmt.Sprintf("durable gem %02d.mp3", i), Size: 1000, Host: "h", Port: 1}
-		if _, err := pub.Publish(f); err != nil {
+		if _, err := pub.PublishFile(f); err != nil {
 			t.Fatalf("publish %d: %v", i, err)
 		}
 	}
@@ -86,7 +86,7 @@ func TestReplicaRestartAnswersChainJoinWithoutRepublish(t *testing.T) {
 	}()
 
 	pub := piersearch.NewPublisher(engines[0], piersearch.ModeBoth, piersearch.Tokenizer{})
-	if _, err := pub.Publish(piersearch.File{Name: "restartable gem.mp3", Size: 42, Host: "h", Port: 1}); err != nil {
+	if _, err := pub.PublishFile(piersearch.File{Name: "restartable gem.mp3", Size: 42, Host: "h", Port: 1}); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,0 +1,521 @@
+package wire
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"piersearch/internal/codec"
+)
+
+// This file extends the transport from one-shot Call round-trips to
+// multiplexed streams: many logical byte-payload streams share one TCP
+// connection, each with its own ID, lifecycle, and credit-based flow
+// control. The query service (internal/service) runs its OpenQuery /
+// batch-push / cancel protocol over these streams.
+//
+// Mux frame layout, inside the existing 4-byte length prefix:
+//
+//	uvarint streamID | byte kind | body
+//
+// Kinds:
+//
+//	open   (1)  body = uvarint window, opening payload. Sent by the dialing
+//	            side to create a stream; window is the number of data
+//	            frames the opener is prepared to buffer (credits granted
+//	            to the accepting side). The acceptor answers with a credit
+//	            frame granting its own window, so both directions start
+//	            with credit.
+//	data   (2)  body = payload. Consumes one send credit.
+//	credit (3)  body = uvarint n. Grants the peer n more data frames.
+//	close  (4)  graceful end of the sender's direction; queued data
+//	            frames are still delivered, then Recv returns io.EOF.
+//	reset  (5)  body = string reason. Aborts the stream in both
+//	            directions immediately.
+const (
+	frameOpen byte = iota + 1
+	frameData
+	frameCredit
+	frameClose
+	frameReset
+)
+
+// DefaultWindow is the per-stream receive window (in data frames) used
+// when the opener passes no explicit window.
+const DefaultWindow = 8
+
+// StreamResetError reports that the peer (or the local Close) aborted the
+// stream.
+type StreamResetError struct{ Reason string }
+
+func (e *StreamResetError) Error() string {
+	if e.Reason == "" {
+		return "wire: stream reset"
+	}
+	return "wire: stream reset: " + e.Reason
+}
+
+// Mux multiplexes streams over one connection. The side that dialed the
+// connection opens streams with Open; the accepting side receives each new
+// stream through the handler passed to NewServerMux. All methods are safe
+// for concurrent use; one Stream's Send (or Recv) must not be called from
+// two goroutines at once.
+type Mux struct {
+	conn    net.Conn
+	handler func(*Stream, []byte) // nil on the client side
+
+	writeMu sync.Mutex
+
+	mu      sync.Mutex
+	streams map[uint64]*Stream
+	nextID  uint64
+	err     error         // terminal mux error
+	done    chan struct{} // closed when the read loop exits
+}
+
+// NewClientMux wraps conn as the stream-opening side of a mux session and
+// starts its read loop.
+func NewClientMux(conn net.Conn) *Mux {
+	m := &Mux{conn: conn, streams: make(map[uint64]*Stream), nextID: 1, done: make(chan struct{})}
+	go m.readLoop()
+	return m
+}
+
+// NewServerMux wraps conn as the accepting side: handler runs in its own
+// goroutine for every stream the peer opens, receiving the stream and the
+// opening payload. The read loop starts immediately.
+func NewServerMux(conn net.Conn, handler func(st *Stream, opening []byte)) *Mux {
+	m := &Mux{conn: conn, handler: handler, streams: make(map[uint64]*Stream), done: make(chan struct{})}
+	go m.readLoop()
+	return m
+}
+
+// Err returns the terminal mux error, or nil while the session is live.
+func (m *Mux) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// Done is closed when the mux session ends (connection failure or Close).
+func (m *Mux) Done() <-chan struct{} { return m.done }
+
+// Close tears the session down: the connection is closed and every open
+// stream fails with the mux error.
+func (m *Mux) Close() error {
+	err := m.conn.Close()
+	m.fail(fmt.Errorf("wire: mux closed"))
+	return err
+}
+
+// fail marks the mux broken and propagates err to all streams. Idempotent;
+// the first error wins. The connection is closed here, not just in Close:
+// a session that dies from a read/write error must release its socket
+// rather than leak it into CLOSE_WAIT.
+func (m *Mux) fail(err error) {
+	m.mu.Lock()
+	if m.err != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.err = err
+	m.conn.Close() //nolint:errcheck // already failing
+	streams := make([]*Stream, 0, len(m.streams))
+	for _, st := range m.streams {
+		streams = append(streams, st)
+	}
+	m.streams = map[uint64]*Stream{}
+	m.mu.Unlock()
+	for _, st := range streams {
+		st.terminate(err)
+	}
+	close(m.done)
+}
+
+// Open creates a new stream, delivering opening to the peer's handler.
+// window is the number of data frames this side is prepared to buffer
+// before the peer must wait for credits (0 means DefaultWindow).
+func (m *Mux) Open(opening []byte, window int) (*Stream, error) {
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	m.mu.Lock()
+	if m.err != nil {
+		err := m.err
+		m.mu.Unlock()
+		return nil, err
+	}
+	if m.handler != nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("wire: accepting side cannot open streams")
+	}
+	id := m.nextID
+	m.nextID++
+	st := newStream(m, id, window)
+	m.streams[id] = st
+	m.mu.Unlock()
+
+	body := codec.AppendUvarint(nil, uint64(window))
+	body = append(body, opening...)
+	if err := m.writeFrame(id, frameOpen, body); err != nil {
+		m.unregister(id)
+		st.terminate(err)
+		return nil, err
+	}
+	return st, nil
+}
+
+func (m *Mux) unregister(id uint64) {
+	m.mu.Lock()
+	delete(m.streams, id)
+	m.mu.Unlock()
+}
+
+func (m *Mux) lookup(id uint64) *Stream {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.streams[id]
+}
+
+// ErrFrameTooLarge reports a payload that cannot fit one mux frame. It is
+// a local validation failure of that one Send — the session stays up.
+var ErrFrameTooLarge = fmt.Errorf("wire: frame exceeds %d-byte limit", MaxFrame)
+
+// writeFrame sends one mux frame: all stream writes share the connection
+// under one lock, so frames interleave but never tear. An over-limit
+// payload fails only the calling stream; a connection write failure kills
+// the session.
+func (m *Mux) writeFrame(id uint64, kind byte, body []byte) error {
+	if len(body)+binary.MaxVarintLen64+1 > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	buf := codec.GetBuf()
+	buf = codec.AppendUvarint(buf, id)
+	buf = append(buf, kind)
+	buf = append(buf, body...)
+	m.writeMu.Lock()
+	err := WriteFrame(m.conn, buf)
+	m.writeMu.Unlock()
+	codec.PutBuf(buf)
+	if err != nil {
+		m.fail(fmt.Errorf("wire: mux write: %w", err))
+	}
+	return err
+}
+
+// readLoop dispatches incoming frames to their streams until the
+// connection fails.
+func (m *Mux) readLoop() {
+	for {
+		payload, err := ReadFrame(m.conn)
+		if err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			m.fail(fmt.Errorf("wire: mux read: %w", err))
+			return
+		}
+		r := codec.NewReader(payload)
+		id := r.Uvarint()
+		kind := r.Byte()
+		if r.Err() != nil {
+			codec.PutBuf(payload)
+			m.fail(fmt.Errorf("wire: malformed mux frame"))
+			return
+		}
+		m.dispatch(id, kind, r)
+		codec.PutBuf(payload)
+	}
+}
+
+// dispatch routes one frame. The body reader aliases a pooled buffer, so
+// everything retained is copied out here.
+func (m *Mux) dispatch(id uint64, kind byte, r *codec.Reader) {
+	switch kind {
+	case frameOpen:
+		if m.handler == nil {
+			// Only the accepting side receives opens; a client getting one
+			// is a protocol violation by the peer. Refuse the stream.
+			m.writeFrame(id, frameReset, codec.AppendString(nil, "unexpected open")) //nolint:errcheck // best-effort refusal
+			return
+		}
+		window := int(r.Uvarint())
+		if r.Err() != nil || window <= 0 || window > 1<<16 {
+			m.writeFrame(id, frameReset, codec.AppendString(nil, "bad open frame")) //nolint:errcheck // best-effort refusal
+			return
+		}
+		opening := append([]byte(nil), r.Take(r.Len())...)
+		m.mu.Lock()
+		if m.err != nil || m.streams[id] != nil {
+			m.mu.Unlock()
+			return
+		}
+		st := newStream(m, id, DefaultWindow)
+		st.sendCredit = window // the opener granted us this many data frames
+		m.streams[id] = st
+		m.mu.Unlock()
+		// Grant the opener our receive window, so both directions start
+		// with credit (the open frame only carries the opener's window).
+		m.writeFrame(id, frameCredit, codec.AppendUvarint(nil, DefaultWindow)) //nolint:errcheck // conn failure surfaces to every stream
+		go m.handler(st, opening)
+
+	case frameData:
+		st := m.lookup(id)
+		if st == nil {
+			// Stream already closed locally; tell the peer to stop sending.
+			m.writeFrame(id, frameReset, codec.AppendString(nil, "unknown stream")) //nolint:errcheck // best-effort
+			return
+		}
+		data := append([]byte(nil), r.Take(r.Len())...)
+		select {
+		case st.recvq <- data:
+		default:
+			// The peer overran the credits we granted: protocol violation.
+			st.protocolReset("flow control violated")
+		}
+
+	case frameCredit:
+		st := m.lookup(id)
+		if st == nil {
+			return
+		}
+		n := int(r.Uvarint())
+		if r.Err() != nil || n <= 0 {
+			return
+		}
+		st.grantSend(n)
+
+	case frameClose:
+		st := m.lookup(id)
+		if st == nil {
+			return
+		}
+		st.closeRecv()
+
+	case frameReset:
+		st := m.lookup(id)
+		if st == nil {
+			return
+		}
+		reason := r.String()
+		m.unregister(id)
+		st.terminate(&StreamResetError{Reason: reason})
+
+	default:
+		// Unknown kinds are ignored for forward compatibility.
+	}
+}
+
+// Stream is one logical bidirectional byte-payload stream within a Mux.
+// Recv and Send are each single-goroutine; the two directions are
+// independent.
+type Stream struct {
+	m  *Mux
+	id uint64
+
+	recvq    chan []byte   // delivered data frames, bounded by the granted window
+	recvDone chan struct{} // peer sent close: EOF after recvq drains
+	term     chan struct{} // reset or mux failure: stream is dead
+
+	mu         sync.Mutex
+	sendCredit int
+	creditc    chan struct{} // signaled (cap 1) when credit arrives
+	termErr    error
+	recvClosed bool // recvDone closed
+	terminated bool // term closed
+	sentClose  bool
+}
+
+func newStream(m *Mux, id uint64, window int) *Stream {
+	return &Stream{
+		m:        m,
+		id:       id,
+		recvq:    make(chan []byte, window),
+		recvDone: make(chan struct{}),
+		term:     make(chan struct{}),
+		creditc:  make(chan struct{}, 1),
+	}
+}
+
+// ID returns the stream's mux-local identifier.
+func (s *Stream) ID() uint64 { return s.id }
+
+// terminate kills the stream in both directions with err.
+func (s *Stream) terminate(err error) {
+	s.mu.Lock()
+	if s.terminated {
+		s.mu.Unlock()
+		return
+	}
+	s.terminated = true
+	s.termErr = err
+	close(s.term)
+	s.mu.Unlock()
+}
+
+func (s *Stream) closeRecv() {
+	s.mu.Lock()
+	if !s.recvClosed {
+		s.recvClosed = true
+		close(s.recvDone)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Stream) grantSend(n int) {
+	s.mu.Lock()
+	s.sendCredit += n
+	s.mu.Unlock()
+	select {
+	case s.creditc <- struct{}{}:
+	default:
+	}
+}
+
+// protocolReset aborts the stream from the receive path (flow-control
+// violation): peer is told, local users see a reset error.
+func (s *Stream) protocolReset(reason string) {
+	s.m.unregister(s.id)
+	s.m.writeFrame(s.id, frameReset, codec.AppendString(nil, reason)) //nolint:errcheck // best-effort
+	s.terminate(&StreamResetError{Reason: reason})
+}
+
+// errNow returns the terminal error if the stream is dead.
+func (s *Stream) errNow() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.termErr
+}
+
+// Send delivers one data frame to the peer, blocking until a flow-control
+// credit is available, the context ends, or the stream dies.
+func (s *Stream) Send(ctx context.Context, payload []byte) error {
+	for {
+		s.mu.Lock()
+		if s.termErr != nil {
+			err := s.termErr
+			s.mu.Unlock()
+			return err
+		}
+		if s.sendCredit > 0 {
+			s.sendCredit--
+			s.mu.Unlock()
+			err := s.m.writeFrame(s.id, frameData, payload)
+			if errors.Is(err, ErrFrameTooLarge) {
+				// Local validation failure: nothing left the socket, so the
+				// credit is still ours.
+				s.grantSend(1)
+			}
+			return err
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.creditc:
+		case <-s.term:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Grant gives the peer n more data-frame credits. Callers grant as they
+// consume received frames, keeping the pipeline full without unbounded
+// buffering.
+func (s *Stream) Grant(n int) {
+	if n <= 0 {
+		return
+	}
+	select {
+	case <-s.term:
+		return
+	default:
+	}
+	s.m.writeFrame(s.id, frameCredit, codec.AppendUvarint(nil, uint64(n))) //nolint:errcheck // peer gone: Send will surface it
+}
+
+// Recv returns the next data frame. Frames queued before the peer's Close
+// are always delivered; after them Recv returns io.EOF. A reset (either
+// side) or mux failure surfaces as its error as soon as the already
+// delivered frames, if any, are consumed.
+func (s *Stream) Recv(ctx context.Context) ([]byte, error) {
+	select {
+	case p := <-s.recvq:
+		return p, nil
+	default:
+	}
+	select {
+	case p := <-s.recvq:
+		return p, nil
+	case <-s.term:
+		// Termination and a data frame queued just before it can both be
+		// ready; deliver what was already received before reporting.
+		select {
+		case p := <-s.recvq:
+			return p, nil
+		default:
+			return nil, s.errNow()
+		}
+	case <-s.recvDone:
+		// Close and a late data frame can race in the select; prefer data.
+		select {
+		case p := <-s.recvq:
+			return p, nil
+		default:
+			return nil, io.EOF
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// CloseSend signals the end of this side's data (the peer's Recv returns
+// io.EOF after draining). The receive direction stays open.
+func (s *Stream) CloseSend() error {
+	s.mu.Lock()
+	if s.sentClose || s.terminated {
+		s.mu.Unlock()
+		return nil
+	}
+	s.sentClose = true
+	s.mu.Unlock()
+	return s.m.writeFrame(s.id, frameClose, nil)
+}
+
+// Reset aborts the stream in both directions, telling the peer why.
+// The service layer maps a canceled query context to Reset.
+func (s *Stream) Reset(reason string) {
+	s.mu.Lock()
+	if s.terminated {
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	s.m.unregister(s.id)
+	s.m.writeFrame(s.id, frameReset, codec.AppendString(nil, reason)) //nolint:errcheck // best-effort
+	s.terminate(&StreamResetError{Reason: reason})
+}
+
+// Close releases the stream. A stream that already ended cleanly (or was
+// reset) just unregisters; a live stream is reset so the peer stops
+// streaming into the void.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	dead := s.terminated
+	clean := s.recvClosed && s.sentClose
+	s.mu.Unlock()
+	if dead {
+		s.m.unregister(s.id)
+		return nil
+	}
+	if clean {
+		s.m.unregister(s.id)
+		s.terminate(&StreamResetError{Reason: "closed"})
+		return nil
+	}
+	s.Reset("closed")
+	return nil
+}

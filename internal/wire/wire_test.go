@@ -215,7 +215,7 @@ func TestTCPPierSearchEndToEnd(t *testing.T) {
 	pub := piersearch.NewPublisher(engines[1], piersearch.ModeBoth, piersearch.Tokenizer{})
 	for i := 0; i < 5; i++ {
 		f := piersearch.File{Name: fmt.Sprintf("network demo track%02d.mp3", i), Size: 1000, Host: "127.0.0.1", Port: 6346}
-		if _, err := pub.Publish(f); err != nil {
+		if _, err := pub.PublishFile(f); err != nil {
 			t.Fatal(err)
 		}
 	}
