@@ -1,0 +1,85 @@
+// Command scale runs the virtual-time scale harness: a seeded 10k–100k
+// node PIERSearch replay that finishes in seconds of wall-clock time and
+// writes the schema-versioned BENCH_scale.json the repo commits as its
+// perf trajectory.
+//
+// Regenerate the committed bench (defaults match it exactly):
+//
+//	go run ./cmd/scale -out BENCH_scale.json
+//
+// Explore other scales:
+//
+//	go run ./cmd/scale -nodes 100000 -queries 2000 -out /tmp/bench.json
+//
+// The same flags always produce byte-identical output; diff the JSON
+// PR-over-PR to read the trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"piersearch/internal/scale"
+	"piersearch/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scale: ")
+
+	var (
+		nodes     = flag.Int("nodes", 10_000, "cluster size")
+		seed      = flag.Int64("seed", 1, "seed for IDs, latency, trace, and churn")
+		files     = flag.Int("files", 20_000, "distinct files in the corpus")
+		copies    = flag.Int("copies", 60_000, "total file instances")
+		queries   = flag.Int("queries", 700, "replayed queries")
+		publishes = flag.Int("publishes", 200, "measured publishes")
+		qps       = flag.Float64("qps", 50, "query arrival rate (virtual time)")
+		session   = flag.Duration("churn-session", 2*time.Minute, "mean node up-time (0 disables churn)")
+		downtime  = flag.Duration("churn-downtime", time.Minute, "mean node down-time before rejoin")
+		limit     = flag.Int("limit", 10, "per-query result limit")
+		out       = flag.String("out", "BENCH_scale.json", "output path (- for stdout)")
+	)
+	flag.Parse()
+
+	cfg := scale.Config{
+		Nodes: *nodes,
+		Seed:  *seed,
+		Trace: trace.Config{
+			DistinctFiles: *files,
+			TargetCopies:  *copies,
+			Queries:       *queries,
+			Seed:          *seed,
+		},
+		Publishes: *publishes,
+		QPS:       *qps,
+		Limit:     *limit,
+		Churn: scale.ChurnParams{
+			MeanSession:  *session,
+			MeanDowntime: *downtime,
+		},
+	}
+
+	start := time.Now()
+	rep, err := scale.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("replayed %d nodes, %d queries (%d failed) in %v wall, %.1fs virtual",
+		rep.Config.Nodes, rep.Query.Count, rep.Query.Failed, time.Since(start).Round(time.Millisecond), rep.VirtualSeconds)
+
+	if *out == "-" {
+		b, err := rep.Marshal()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(string(b))
+		return
+	}
+	if err := rep.WriteFile(*out); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s", *out)
+}

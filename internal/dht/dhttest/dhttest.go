@@ -1,0 +1,206 @@
+// Package dhttest provides a reusable conformance suite for
+// dht.ContextTransport implementations. Every in-process transport — the
+// zero-latency LocalNetwork, the wall-clock simnet.RealTime, and the
+// virtual-time scale.Net — must agree on the same observable contract:
+// responses match their requests, sequential calls arrive in order,
+// unreachable and detached nodes fail cleanly, canceled contexts abort
+// before the handler runs, and concurrent callers do not corrupt each
+// other (the suite is expected to run under -race).
+//
+// A transport plugs in by filling a Harness; the suite drives everything
+// else through it. The Run hook exists for transports whose callers must
+// be scheduler tasks rather than plain goroutines (virtual time): the
+// suite never spawns a goroutine itself, it always hands work to Run.
+package dhttest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"piersearch/internal/dht"
+)
+
+// Harness adapts one transport implementation to the conformance suite.
+// All fields are required.
+type Harness struct {
+	// Transport is the implementation under test.
+	Transport dht.ContextTransport
+
+	// NewNode creates a fresh node, registers it on the transport, and
+	// arranges its cleanup. Each call must yield a distinct address.
+	NewNode func() *dht.Node
+
+	// Detach makes the node at addr unreachable, modelling an abrupt
+	// departure or a closed endpoint. Subsequent calls to it must fail.
+	Detach func(addr string)
+
+	// Run executes the given functions to completion, concurrently where
+	// the transport allows blocking callers. Wall-clock harnesses run
+	// them on goroutines and wait; virtual-time harnesses run them as
+	// scheduler tasks under the clock.
+	Run func(fns ...func())
+}
+
+// RunConformance runs the full suite. mk is invoked once per subtest so
+// every case starts from a fresh transport.
+func RunConformance(t *testing.T, mk func(t *testing.T) *Harness) {
+	t.Run("RoundTrip", func(t *testing.T) { testRoundTrip(t, mk(t)) })
+	t.Run("SequentialOrdering", func(t *testing.T) { testSequentialOrdering(t, mk(t)) })
+	t.Run("UnreachableAddr", func(t *testing.T) { testUnreachableAddr(t, mk(t)) })
+	t.Run("DetachedNodeFails", func(t *testing.T) { testDetachedNodeFails(t, mk(t)) })
+	t.Run("CanceledContext", func(t *testing.T) { testCanceledContext(t, mk(t)) })
+	t.Run("ConcurrentCallers", func(t *testing.T) { testConcurrentCallers(t, mk(t)) })
+}
+
+func appReq(from *dht.Node, app string, data []byte) *dht.Request {
+	return &dht.Request{Kind: dht.RPCApp, From: from.Info(), App: app, Data: data}
+}
+
+func testRoundTrip(t *testing.T, h *Harness) {
+	a, b := h.NewNode(), h.NewNode()
+	b.RegisterApp("echo", func(_ dht.NodeInfo, data []byte) []byte {
+		return append([]byte("re:"), data...)
+	})
+	var resp *dht.Response
+	var err error
+	h.Run(func() {
+		resp, err = h.Transport.CallContext(context.Background(), b.Info(), appReq(a, "echo", []byte("ping")))
+	})
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if !resp.OK || string(resp.Data) != "re:ping" {
+		t.Fatalf("resp = %+v, want OK echo of %q", resp, "ping")
+	}
+	if resp.From.ID != b.Info().ID {
+		t.Fatalf("response From = %v, want the callee %v", resp.From.ID, b.Info().ID)
+	}
+}
+
+func testSequentialOrdering(t *testing.T, h *Harness) {
+	a, b := h.NewNode(), h.NewNode()
+	var mu sync.Mutex
+	var got []byte
+	b.RegisterApp("seq", func(_ dht.NodeInfo, data []byte) []byte {
+		mu.Lock()
+		got = append(got, data[0])
+		mu.Unlock()
+		return data
+	})
+	const n = 20
+	h.Run(func() {
+		for i := 0; i < n; i++ {
+			resp, err := h.Transport.CallContext(context.Background(), b.Info(), appReq(a, "seq", []byte{byte(i)}))
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if len(resp.Data) != 1 || resp.Data[0] != byte(i) {
+				t.Errorf("call %d: response %v echoes the wrong request", i, resp.Data)
+				return
+			}
+		}
+	})
+	if len(got) != n {
+		t.Fatalf("handler saw %d calls, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != byte(i) {
+			t.Fatalf("sequential calls delivered out of order: position %d holds %d", i, v)
+		}
+	}
+}
+
+func testUnreachableAddr(t *testing.T, h *Harness) {
+	a := h.NewNode()
+	ghost := dht.NodeInfo{ID: dht.NamespacedID("dhttest", "ghost"), Addr: "dhttest-ghost"}
+	h.Run(func() {
+		if _, err := h.Transport.CallContext(context.Background(), ghost, appReq(a, "echo", nil)); err == nil {
+			t.Error("call to an address that never joined succeeded")
+		}
+	})
+}
+
+func testDetachedNodeFails(t *testing.T, h *Harness) {
+	a, b := h.NewNode(), h.NewNode()
+	b.RegisterApp("echo", func(_ dht.NodeInfo, data []byte) []byte { return data })
+	h.Run(func() {
+		if _, err := h.Transport.CallContext(context.Background(), b.Info(), appReq(a, "echo", nil)); err != nil {
+			t.Errorf("call before detach: %v", err)
+		}
+	})
+	h.Detach(b.Info().Addr)
+	h.Run(func() {
+		if _, err := h.Transport.CallContext(context.Background(), b.Info(), appReq(a, "echo", nil)); err == nil {
+			t.Error("call to a detached node succeeded")
+		}
+	})
+}
+
+func testCanceledContext(t *testing.T, h *Harness) {
+	a, b := h.NewNode(), h.NewNode()
+	var mu sync.Mutex
+	handled := 0
+	b.RegisterApp("echo", func(_ dht.NodeInfo, data []byte) []byte {
+		mu.Lock()
+		handled++
+		mu.Unlock()
+		return data
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h.Run(func() {
+		_, err := h.Transport.CallContext(ctx, b.Info(), appReq(a, "echo", []byte("x")))
+		if err == nil {
+			t.Error("call with canceled context succeeded")
+		} else if !errors.Is(err, context.Canceled) {
+			t.Errorf("error %v does not wrap context.Canceled", err)
+		}
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if handled != 0 {
+		t.Errorf("handler ran %d times despite a pre-canceled context", handled)
+	}
+}
+
+func testConcurrentCallers(t *testing.T, h *Harness) {
+	const callers, calls = 8, 25
+	server := h.NewNode()
+	var mu sync.Mutex
+	total := 0
+	server.RegisterApp("echo", func(_ dht.NodeInfo, data []byte) []byte {
+		mu.Lock()
+		total++
+		mu.Unlock()
+		return data
+	})
+	fns := make([]func(), callers)
+	for c := 0; c < callers; c++ {
+		caller := h.NewNode()
+		c := c
+		fns[c] = func() {
+			for i := 0; i < calls; i++ {
+				payload := []byte(fmt.Sprintf("%d:%d", c, i))
+				resp, err := h.Transport.CallContext(context.Background(), server.Info(), appReq(caller, "echo", payload))
+				if err != nil {
+					t.Errorf("caller %d call %d: %v", c, i, err)
+					return
+				}
+				if string(resp.Data) != string(payload) {
+					t.Errorf("caller %d call %d: got %q, want %q (responses crossed)", c, i, resp.Data, payload)
+					return
+				}
+			}
+		}
+	}
+	h.Run(fns...)
+	mu.Lock()
+	defer mu.Unlock()
+	if total != callers*calls {
+		t.Fatalf("handler saw %d calls, want %d", total, callers*calls)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -231,6 +232,20 @@ func (n *Node) observe(peer NodeInfo) {
 		n.table.Evict(candidate.ID)
 		n.table.Update(peer)
 	}
+}
+
+// SeedContact inserts peer into the routing table without a liveness
+// check: no eviction ping is issued, and when the target bucket is full
+// the peer is dropped. Cluster builders that construct warm routing
+// tables offline (internal/scale) use this to avoid the O(n·k) RPC
+// bootstrap; live traffic then maintains the table as usual. Reports
+// whether the peer was inserted or refreshed.
+func (n *Node) SeedContact(peer NodeInfo) bool {
+	if peer.ID == n.self.ID || peer.ID.IsZero() {
+		return false
+	}
+	_, updated := n.table.Update(peer)
+	return updated
 }
 
 // call issues one RPC and accounts for routing-table maintenance.
@@ -651,9 +666,11 @@ func (n *Node) LocalPut(key ID, data []byte) {
 }
 
 // Republish re-stores every locally held value, refreshing replicas after
-// churn. It returns the number of values republished.
+// churn. It returns the number of values republished. Keys are processed
+// in ID order so the RPC sequence is reproducible run-over-run.
 func (n *Node) Republish() (int, LookupStats) {
 	keys := n.store.Keys()
+	sort.Slice(keys, func(i, j int) bool { return Less(keys[i], keys[j]) })
 	type kv struct {
 		key ID
 		val StoredValue

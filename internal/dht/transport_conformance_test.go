@@ -1,0 +1,45 @@
+package dht_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/dht/dhttest"
+)
+
+// goroutineRunner runs the suite's workloads on plain goroutines — the
+// right shape for wall-clock transports whose callers may block.
+func goroutineRunner(fns ...func()) {
+	var wg sync.WaitGroup
+	for _, fn := range fns {
+		wg.Add(1)
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+func TestLocalNetworkConformance(t *testing.T) {
+	dhttest.RunConformance(t, func(t *testing.T) *dhttest.Harness {
+		net := dht.NewLocalNetwork(1)
+		rng := rand.New(rand.NewSource(7))
+		next := 0
+		return &dhttest.Harness{
+			Transport: net,
+			NewNode: func() *dht.Node {
+				n := dht.NewNode(dht.NodeInfo{ID: dht.SeededID(rng), Addr: fmt.Sprintf("local-%d", next)}, net, dht.Config{})
+				next++
+				net.Join(n)
+				t.Cleanup(func() { n.Close() }) //nolint:errcheck // test teardown
+				return n
+			},
+			Detach: net.Remove,
+			Run:    goroutineRunner,
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package gnutella
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// This file defines churn *schedules*: precomputed, deterministic
+// sequences of down/up events over a host population. The overlay in this
+// package applies them to ultrapeers (ScheduleChurn); the scale harness in
+// internal/scale applies them to DHT nodes. Precomputing the whole
+// schedule from a seed — rather than rolling dice as the simulation runs —
+// is what keeps replays byte-reproducible: the same seed always yields the
+// same event list regardless of how the consumer interleaves it with other
+// work.
+
+// ChurnEvent is one transition of one host: at time At the host goes down
+// (Up=false) or comes back (Up=true).
+type ChurnEvent struct {
+	Host int           // index in [0, Hosts)
+	At   time.Duration // virtual time of the transition
+	Up   bool
+}
+
+// ChurnSchedule is a deterministic churn script over a host population.
+// Events are sorted by time (ties by host index). All hosts start up at
+// time zero; the zero value is the empty schedule (no churn).
+type ChurnSchedule struct {
+	Hosts   int
+	Horizon time.Duration
+	Events  []ChurnEvent
+}
+
+// ChurnConfig parameterises GenerateChurn.
+type ChurnConfig struct {
+	Hosts   int           // population size
+	Horizon time.Duration // schedule length
+	// MeanSession is the mean up-time between failures (exponential).
+	// Zero disables churn entirely: the schedule comes back empty.
+	MeanSession time.Duration
+	// MeanDowntime is the mean time a failed host stays down before
+	// rejoining (exponential). Zero means hosts never rejoin.
+	MeanDowntime time.Duration
+	Seed         int64
+}
+
+// GenerateChurn builds a deterministic schedule: each host alternates
+// exponentially distributed up and down periods, starting up, until the
+// horizon. The same config always produces the same schedule.
+func GenerateChurn(cfg ChurnConfig) ChurnSchedule {
+	s := ChurnSchedule{Hosts: cfg.Hosts, Horizon: cfg.Horizon}
+	if cfg.Hosts <= 0 || cfg.Horizon <= 0 || cfg.MeanSession <= 0 {
+		return s
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for h := 0; h < cfg.Hosts; h++ {
+		t := time.Duration(rng.ExpFloat64() * float64(cfg.MeanSession))
+		up := true
+		for t < cfg.Horizon {
+			s.Events = append(s.Events, ChurnEvent{Host: h, At: t, Up: !up})
+			up = !up
+			var mean time.Duration
+			if up {
+				mean = cfg.MeanSession
+			} else {
+				mean = cfg.MeanDowntime
+				if mean <= 0 {
+					break // never rejoins
+				}
+			}
+			t += time.Duration(rng.ExpFloat64() * float64(mean))
+		}
+	}
+	s.sortEvents()
+	return s
+}
+
+// AllDownEpoch returns a schedule that takes every host down at from and
+// brings every host back at until (when until > from and within the
+// horizon) — the harshest correlated-failure scenario, used to pin that
+// consumers survive a window with zero live hosts.
+func AllDownEpoch(hosts int, horizon, from, until time.Duration) ChurnSchedule {
+	s := ChurnSchedule{Hosts: hosts, Horizon: horizon}
+	for h := 0; h < hosts; h++ {
+		s.Events = append(s.Events, ChurnEvent{Host: h, At: from, Up: false})
+		if until > from && until < horizon {
+			s.Events = append(s.Events, ChurnEvent{Host: h, At: until, Up: true})
+		}
+	}
+	s.sortEvents()
+	return s
+}
+
+func (s *ChurnSchedule) sortEvents() {
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		if s.Events[i].At != s.Events[j].At {
+			return s.Events[i].At < s.Events[j].At
+		}
+		return s.Events[i].Host < s.Events[j].Host
+	})
+}
+
+// Validate checks internal consistency: host indices in range, event times
+// within [0, Horizon), events sorted, and per-host transitions strictly
+// alternating starting from up.
+func (s ChurnSchedule) Validate() error {
+	state := make(map[int]bool, s.Hosts) // host -> currently up
+	var prev time.Duration
+	for i, ev := range s.Events {
+		if ev.Host < 0 || ev.Host >= s.Hosts {
+			return fmt.Errorf("gnutella: churn event %d: host %d out of range [0,%d)", i, ev.Host, s.Hosts)
+		}
+		if ev.At < 0 || ev.At >= s.Horizon {
+			return fmt.Errorf("gnutella: churn event %d: time %v outside [0,%v)", i, ev.At, s.Horizon)
+		}
+		if ev.At < prev {
+			return fmt.Errorf("gnutella: churn event %d: unsorted (at %v after %v)", i, ev.At, prev)
+		}
+		prev = ev.At
+		up, seen := state[ev.Host]
+		if !seen {
+			up = true
+		}
+		if ev.Up == up {
+			return fmt.Errorf("gnutella: churn event %d: host %d already %s", i, ev.Host, upness(up))
+		}
+		state[ev.Host] = ev.Up
+	}
+	return nil
+}
+
+func upness(up bool) string {
+	if up {
+		return "up"
+	}
+	return "down"
+}
+
+// AliveAt replays the schedule and reports whether host is up at time t
+// (events at exactly t have taken effect).
+func (s ChurnSchedule) AliveAt(host int, t time.Duration) bool {
+	up := true
+	for _, ev := range s.Events {
+		if ev.At > t {
+			break
+		}
+		if ev.Host == host {
+			up = ev.Up
+		}
+	}
+	return up
+}
+
+// MaxDownFrac returns the largest fraction of hosts simultaneously down at
+// any instant of the schedule (0 for an empty schedule or population).
+func (s ChurnSchedule) MaxDownFrac() float64 {
+	if s.Hosts == 0 || len(s.Events) == 0 {
+		return 0
+	}
+	down := make(map[int]bool, s.Hosts)
+	maxDown := 0
+	for i := 0; i < len(s.Events); {
+		// Apply every event of this instant before sampling.
+		j := i
+		for j < len(s.Events) && s.Events[j].At == s.Events[i].At {
+			if s.Events[j].Up {
+				delete(down, s.Events[j].Host)
+			} else {
+				down[s.Events[j].Host] = true
+			}
+			j++
+		}
+		if len(down) > maxDown {
+			maxDown = len(down)
+		}
+		i = j
+	}
+	return float64(maxDown) / float64(s.Hosts)
+}
+
+// Downtime returns the total down-duration of host over the schedule's
+// horizon (a host down at the final event stays down until the horizon).
+func (s ChurnSchedule) Downtime(host int) time.Duration {
+	var total time.Duration
+	up := true
+	var wentDown time.Duration
+	for _, ev := range s.Events {
+		if ev.Host != host {
+			continue
+		}
+		if up && !ev.Up {
+			wentDown = ev.At
+		} else if !up && ev.Up {
+			total += ev.At - wentDown
+		}
+		up = ev.Up
+	}
+	if !up {
+		total += s.Horizon - wentDown
+	}
+	return total
+}
+
+// ScheduleChurn applies the schedule to the overlay: event i detaches or
+// re-attaches ultrapeer ups[ev.Host] at virtual time ev.At on the
+// network's simulator. Hosts beyond len(ups) are ignored, so a schedule
+// generated for a larger population can drive a smaller overlay.
+func (n *Network) ScheduleChurn(s ChurnSchedule, ups []HostID) {
+	for _, ev := range s.Events {
+		if ev.Host >= len(ups) {
+			continue
+		}
+		id := ups[ev.Host]
+		up := ev.Up
+		n.Sim.At(ev.At, func() {
+			if up {
+				n.AttachUltrapeer(id)
+			} else {
+				n.DetachUltrapeer(id)
+			}
+		})
+	}
+}

@@ -1,0 +1,152 @@
+package gnutella
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"piersearch/internal/piersearch"
+)
+
+func TestGenerateChurnDeterministicAndValid(t *testing.T) {
+	cfg := ChurnConfig{
+		Hosts:        200,
+		Horizon:      10 * time.Minute,
+		MeanSession:  2 * time.Minute,
+		MeanDowntime: 30 * time.Second,
+		Seed:         7,
+	}
+	a := GenerateChurn(cfg)
+	b := GenerateChurn(cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated schedule invalid: %v", err)
+	}
+	if len(a.Events) == 0 {
+		t.Fatal("expected churn events for a 2-minute mean session over 10 minutes")
+	}
+	// With short sessions and short downtimes, some host must be down at
+	// some point but never the whole population.
+	if f := a.MaxDownFrac(); f <= 0 || f >= 1 {
+		t.Fatalf("MaxDownFrac = %v, want in (0, 1)", f)
+	}
+}
+
+func TestChurnScheduleEmpty(t *testing.T) {
+	var s ChurnSchedule // zero value: no hosts, no events
+	if err := s.Validate(); err != nil {
+		t.Fatalf("empty schedule invalid: %v", err)
+	}
+	if s.MaxDownFrac() != 0 {
+		t.Errorf("empty schedule MaxDownFrac = %v, want 0", s.MaxDownFrac())
+	}
+	if !s.AliveAt(0, time.Minute) {
+		t.Error("hosts should be up under the empty schedule")
+	}
+	if s.Downtime(3) != 0 {
+		t.Error("empty schedule should have zero downtime")
+	}
+
+	// Churn disabled via zero MeanSession yields the same empty shape.
+	disabled := GenerateChurn(ChurnConfig{Hosts: 50, Horizon: time.Minute})
+	if len(disabled.Events) != 0 {
+		t.Fatalf("disabled churn produced %d events", len(disabled.Events))
+	}
+	if !disabled.AliveAt(10, 30*time.Second) {
+		t.Error("disabled churn should keep every host up")
+	}
+}
+
+func TestChurnScheduleAllDownEpoch(t *testing.T) {
+	s := AllDownEpoch(40, 10*time.Minute, 2*time.Minute, 3*time.Minute)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("all-down schedule invalid: %v", err)
+	}
+	if f := s.MaxDownFrac(); f != 1 {
+		t.Fatalf("MaxDownFrac = %v, want 1 during the epoch", f)
+	}
+	for _, h := range []int{0, 17, 39} {
+		if s.AliveAt(h, 2*time.Minute+30*time.Second) {
+			t.Fatalf("host %d alive mid-epoch", h)
+		}
+		if !s.AliveAt(h, time.Minute) || !s.AliveAt(h, 4*time.Minute) {
+			t.Fatalf("host %d down outside the epoch", h)
+		}
+		if got, want := s.Downtime(h), time.Minute; got != want {
+			t.Fatalf("host %d downtime %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestChurnScheduleNoRejoin(t *testing.T) {
+	s := GenerateChurn(ChurnConfig{
+		Hosts:       100,
+		Horizon:     20 * time.Minute,
+		MeanSession: time.Minute,
+		// MeanDowntime zero: once down, down forever.
+		Seed: 3,
+	})
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	for _, ev := range s.Events {
+		if ev.Up {
+			t.Fatalf("host %d rejoined at %v despite zero MeanDowntime", ev.Host, ev.At)
+		}
+	}
+	// Eventually (almost) everyone is down.
+	if f := s.MaxDownFrac(); f < 0.9 {
+		t.Fatalf("MaxDownFrac = %v, want >= 0.9 with no rejoins over 20 mean sessions", f)
+	}
+}
+
+func TestChurnScheduleValidateRejects(t *testing.T) {
+	bad := []ChurnSchedule{
+		{Hosts: 2, Horizon: time.Minute, Events: []ChurnEvent{{Host: 5, At: time.Second, Up: false}}},
+		{Hosts: 2, Horizon: time.Minute, Events: []ChurnEvent{{Host: 0, At: 2 * time.Minute, Up: false}}},
+		{Hosts: 2, Horizon: time.Minute, Events: []ChurnEvent{{Host: 0, At: time.Second, Up: true}}}, // already up
+		{Hosts: 2, Horizon: time.Minute, Events: []ChurnEvent{
+			{Host: 0, At: 30 * time.Second, Up: false}, {Host: 1, At: time.Second, Up: false}, // unsorted
+		}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schedule %d validated despite being invalid", i)
+		}
+	}
+}
+
+func TestScheduleChurnDrivesOverlay(t *testing.T) {
+	topo, err := NewTopology(TopologyConfig{Ultrapeers: 8, Hosts: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := NewLibrary(topo, piersearch.Tokenizer{})
+	n := NewNetwork(topo, lib, NetworkConfig{Seed: 1})
+
+	s := AllDownEpoch(4, 10*time.Minute, time.Minute, 2*time.Minute)
+	ups := []HostID{0, 1, 2, 3}
+	n.ScheduleChurn(s, ups)
+
+	n.Sim.RunUntil(90 * time.Second)
+	for _, u := range ups {
+		if n.Alive(u) {
+			t.Fatalf("ultrapeer %d alive mid-epoch", u)
+		}
+	}
+	if n.Alive(4) {
+		// Ultrapeer 4 is outside the schedule's population; it must be
+		// untouched (Alive is true for attached peers).
+		_ = struct{}{}
+	} else {
+		t.Fatal("ultrapeer outside schedule population was detached")
+	}
+	n.Sim.RunUntil(3 * time.Minute)
+	for _, u := range ups {
+		if !n.Alive(u) {
+			t.Fatalf("ultrapeer %d still down after the epoch", u)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// histTolerance is the relative quantile error the geometry guarantees:
+// one bucket's growth factor, plus slack for the midpoint estimate.
+func histTolerance(perDecade int) float64 {
+	return math.Pow(10, 1/float64(perDecade)) - 1 + 0.01
+}
+
+func checkQuantile(t *testing.T, h *Histogram, samples []float64, q float64, perDecade int) {
+	t.Helper()
+	exact := Quantile(samples, q)
+	got := h.HistQuantile(q)
+	tol := histTolerance(perDecade)
+	if exact == 0 {
+		if got > tol {
+			t.Errorf("q=%v: got %v, want ~0", q, got)
+		}
+		return
+	}
+	if rel := math.Abs(got-exact) / exact; rel > tol {
+		t.Errorf("q=%v: got %v, exact %v (rel err %.4f > %.4f)", q, got, exact, rel, tol)
+	}
+}
+
+func TestHistogramQuantilesUniform(t *testing.T) {
+	const perDecade = 40
+	h := NewHistogram(1e-4, 100, perDecade)
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = 0.001 + rng.Float64()*0.999 // uniform on [1ms, 1s)
+		h.Observe(samples[i])
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		checkQuantile(t, h, samples, q, perDecade)
+	}
+}
+
+func TestHistogramQuantilesExponential(t *testing.T) {
+	const perDecade = 40
+	h := NewHistogram(1e-4, 100, perDecade)
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = 0.030 + rng.ExpFloat64()*0.040 // the wide-area latency shape
+		h.Observe(samples[i])
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		checkQuantile(t, h, samples, q, perDecade)
+	}
+}
+
+func TestHistogramQuantilesLognormal(t *testing.T) {
+	const perDecade = 40
+	h := NewHistogram(1e-4, 100, perDecade)
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 20000)
+	for i := range samples {
+		samples[i] = math.Exp(rng.NormFloat64()*0.8 - 2) // heavy-tailed
+		h.Observe(samples[i])
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		checkQuantile(t, h, samples, q, perDecade)
+	}
+}
+
+func TestHistogramMergeMatchesCombinedObservation(t *testing.T) {
+	const perDecade = 40
+	a := NewHistogram(1e-4, 100, perDecade)
+	b := NewHistogram(1e-4, 100, perDecade)
+	all := NewHistogram(1e-4, 100, perDecade)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		v := 0.001 + rng.Float64()*0.2
+		a.Observe(v)
+		all.Observe(v)
+	}
+	for i := 0; i < 5000; i++ {
+		v := 0.5 + rng.Float64()*2
+		b.Observe(v)
+		all.Observe(v)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), all.Count())
+	}
+	if math.Abs(a.Sum()-all.Sum()) > 1e-9*all.Sum() {
+		t.Fatalf("merged sum %v, want %v", a.Sum(), all.Sum())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatalf("merged min/max %v/%v, want %v/%v", a.Min(), a.Max(), all.Min(), all.Max())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if got, want := a.HistQuantile(q), all.HistQuantile(q); got != want {
+			t.Errorf("q=%v: merged %v, combined %v", q, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeGeometryMismatch(t *testing.T) {
+	a := NewHistogram(1e-4, 100, 40)
+	b := NewHistogram(1e-3, 100, 40)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge of mismatched geometry succeeded")
+	}
+	c := NewHistogram(1e-4, 100, 20)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("merge of mismatched bucket count succeeded")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge of nil: %v", err)
+	}
+}
+
+func TestHistogramEmptyAndClamping(t *testing.T) {
+	h := NewHistogram(1e-3, 10, 40)
+	if !math.IsNaN(h.HistQuantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	if !math.IsNaN(h.Min()) || !math.IsNaN(h.Max()) {
+		t.Error("empty histogram min/max should be NaN")
+	}
+	// Below-range and above-range samples clamp into the edge buckets but
+	// Min/Max keep the true extremes.
+	h.Observe(1e-6)
+	h.Observe(100)
+	if h.Min() != 1e-6 || h.Max() != 100 {
+		t.Errorf("min/max = %v/%v, want 1e-6/100", h.Min(), h.Max())
+	}
+	if q := h.HistQuantile(0); q != 1e-3 {
+		t.Errorf("q0 = %v, want clamp to first bucket edge 1e-3", q)
+	}
+	if q := h.HistQuantile(1); q < 10 || q > 100 {
+		t.Errorf("q1 = %v, want within [hi, observed max]", q)
+	}
+}
+
+func TestHistogramDeterminism(t *testing.T) {
+	build := func() *Histogram {
+		h := NewHistogram(1e-4, 100, 40)
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 1000; i++ {
+			h.Observe(0.001 + rng.Float64())
+		}
+		return h
+	}
+	a, b := build(), build()
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		if a.HistQuantile(q) != b.HistQuantile(q) {
+			t.Fatalf("q=%v differs between identical builds", q)
+		}
+	}
+}

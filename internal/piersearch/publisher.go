@@ -76,17 +76,22 @@ func (p *Publisher) WithMode(mode PublishMode) *Publisher {
 	return &q
 }
 
-// tuples expands f into its index tuples under the configured mode.
-func (p *Publisher) tuples(f File, keywords []string) []pier.Pub {
+// IndexTuples expands f into the index tuples publishing it under mode
+// produces: one Item tuple plus one Inverted and/or InvertedCache tuple
+// per keyword. Publisher feeds these through the DHT put path; the scale
+// harness uses the same expansion to place a corpus directly on the
+// replica sets during its zero-traffic load phase, so both paths index
+// identically.
+func IndexTuples(f File, keywords []string, mode PublishMode) []pier.Pub {
 	pubs := make([]pier.Pub, 0, 1+2*len(keywords))
 	pubs = append(pubs, pier.Pub{Table: TableItem, Tuple: f.ItemTuple()})
 	id := f.ID()
 	for _, kw := range keywords {
-		if p.mode == ModeInverted || p.mode == ModeBoth {
+		if mode == ModeInverted || mode == ModeBoth {
 			pubs = append(pubs, pier.Pub{Table: TableInverted,
 				Tuple: pier.Tuple{pier.String(kw), pier.Bytes(id[:])}})
 		}
-		if p.mode == ModeInvertedCache || p.mode == ModeBoth {
+		if mode == ModeInvertedCache || mode == ModeBoth {
 			pubs = append(pubs, pier.Pub{Table: TableInvertedCache,
 				Tuple: pier.Tuple{pier.String(kw), pier.Bytes(id[:]), pier.String(f.Name)}})
 		}
@@ -107,7 +112,7 @@ func (p *Publisher) PublishFile(f File) (PublishStats, error) {
 	}
 	stats.Keywords = len(keywords)
 
-	res, err := p.engine.PublishBatch(p.tuples(f, keywords), p.workers)
+	res, err := p.engine.PublishBatch(IndexTuples(f, keywords, p.mode), p.workers)
 	stats.addLookup(res.Stats)
 	stats.Tuples = res.Published
 	stats.MaxInFlight = res.MaxInFlight

@@ -1,0 +1,111 @@
+package scale
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockRunsTasksInEventTimeOrder(t *testing.T) {
+	c := NewClock()
+	var order []string
+	err := c.Run(func() {
+		c.Go(func() {
+			c.Sleep(30 * time.Millisecond)
+			order = append(order, "b")
+		})
+		c.Go(func() {
+			c.Sleep(10 * time.Millisecond)
+			order = append(order, "a")
+		})
+		c.Sleep(50 * time.Millisecond)
+		order = append(order, "c")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(order); got != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("order = %v, want [a b c]", order)
+	}
+	if c.Now() != 50*time.Millisecond {
+		t.Fatalf("Now = %v, want 50ms", c.Now())
+	}
+}
+
+func TestClockTieBreaksByInsertion(t *testing.T) {
+	c := NewClock()
+	var order []int
+	err := c.Run(func() {
+		for i := 0; i < 8; i++ {
+			i := i
+			c.Go(func() {
+				c.Sleep(time.Millisecond) // all wake at the same instant
+				order = append(order, i)
+			})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tied events ran as %v, want insertion order", order)
+		}
+	}
+}
+
+func TestClockAtCallbacks(t *testing.T) {
+	c := NewClock()
+	var fired []time.Duration
+	c.At(20*time.Millisecond, func() { fired = append(fired, c.Now()) })
+	c.At(5*time.Millisecond, func() { fired = append(fired, c.Now()) })
+	err := c.Run(func() { c.Sleep(30 * time.Millisecond) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || fired[0] != 5*time.Millisecond || fired[1] != 20*time.Millisecond {
+		t.Fatalf("callbacks fired at %v, want [5ms 20ms]", fired)
+	}
+}
+
+func TestClockLeavesFutureCallbacksForNextRun(t *testing.T) {
+	c := NewClock()
+	fired := false
+	c.At(time.Hour, func() { fired = true })
+	if err := c.Run(func() { c.Sleep(time.Minute) }); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("callback beyond the workload's end fired anyway")
+	}
+	if c.Now() != time.Minute {
+		t.Fatalf("Now = %v, want 1m", c.Now())
+	}
+	// A later Run that sleeps past it picks it up.
+	if err := c.Run(func() { c.Sleep(2 * time.Hour) }); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("queued callback did not fire in the next run")
+	}
+}
+
+func TestClockNestedSpawns(t *testing.T) {
+	c := NewClock()
+	count := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		count++
+		if depth == 0 {
+			return
+		}
+		c.Sleep(time.Millisecond)
+		c.Go(func() { spawn(depth - 1) })
+		c.Go(func() { spawn(depth - 1) })
+	}
+	if err := c.Run(func() { spawn(6) }); err != nil {
+		t.Fatal(err)
+	}
+	if count != 127 { // full binary tree of depth 6
+		t.Fatalf("ran %d tasks, want 127", count)
+	}
+}

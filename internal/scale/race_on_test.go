@@ -1,0 +1,8 @@
+//go:build race
+
+package scale_test
+
+// raceEnabled gates workload size: the race detector multiplies both CPU
+// and memory cost, so the acceptance test trades node count for coverage
+// when it is on.
+const raceEnabled = true

@@ -1,0 +1,304 @@
+package scale
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/gnutella"
+	"piersearch/internal/metrics"
+	"piersearch/internal/pier"
+	"piersearch/internal/piersearch"
+	"piersearch/internal/simnet"
+	"piersearch/internal/trace"
+)
+
+// ChurnParams parameterises mid-run node churn. Zero MeanSession disables
+// churn.
+type ChurnParams struct {
+	MeanSession  time.Duration
+	MeanDowntime time.Duration
+}
+
+// Config parameterises one replay.
+type Config struct {
+	Nodes int   // cluster size (required)
+	Seed  int64 // drives IDs, latency sampling, trace generation, churn
+
+	// StableCore is the number of nodes exempt from churn; publish and
+	// query origins are drawn from it, so an origin is never detached
+	// while one of its chains is in flight. Default max(4, Nodes/100).
+	StableCore int
+
+	Trace trace.Config // corpus + query workload; Hosts is forced to Nodes
+
+	Publishes  int     // measured publishes (default 100)
+	PublishQPS float64 // publish arrival rate in virtual time (default QPS)
+	QPS        float64 // query arrival rate in virtual time (default 50)
+
+	Limit    int                    // per-query result limit (default 10)
+	Strategy piersearch.Strategy    // query plan (default StrategyJoin)
+	Mode     piersearch.PublishMode // index layout (default ModeInverted)
+
+	Replicate int                 // DHT replication factor (default dht's 3)
+	Latency   simnet.LatencyModel // nil means simnet.DefaultWideArea
+
+	Churn ChurnParams
+}
+
+func (c Config) withDefaults() Config {
+	if c.StableCore <= 0 {
+		c.StableCore = c.Nodes / 100
+		if c.StableCore < 4 {
+			c.StableCore = 4
+		}
+	}
+	if c.StableCore > c.Nodes {
+		c.StableCore = c.Nodes
+	}
+	if c.QPS <= 0 {
+		c.QPS = 50
+	}
+	if c.PublishQPS <= 0 {
+		c.PublishQPS = c.QPS
+	}
+	if c.Publishes <= 0 {
+		c.Publishes = 100
+	}
+	if c.Limit <= 0 {
+		c.Limit = 10
+	}
+	c.Trace.Hosts = c.Nodes
+	if c.Trace.Seed == 0 {
+		c.Trace.Seed = c.Seed
+	}
+	return c
+}
+
+func interval(qps float64) time.Duration {
+	return time.Duration(float64(time.Second) / qps)
+}
+
+// schemaFor maps a piersearch table name to its schema for offline key
+// derivation during the load phase.
+func schemaFor(table string) (*pier.Schema, error) {
+	switch table {
+	case piersearch.TableItem:
+		return piersearch.ItemSchema, nil
+	case piersearch.TableInverted:
+		return piersearch.InvertedSchema, nil
+	case piersearch.TableInvertedCache:
+		return piersearch.InvertedCacheSchema, nil
+	}
+	return nil, fmt.Errorf("scale: unknown table %s", table)
+}
+
+// Run executes one full replay: build cluster, load the corpus by direct
+// placement (zero traffic), replay measured publishes, then replay the
+// query workload with churn injected, and report per-phase statistics.
+// The same Config always yields an identical Report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Nodes <= 0 {
+		return nil, fmt.Errorf("scale: Nodes must be positive")
+	}
+	clock := NewClock()
+	cl, err := NewCluster(cfg.Nodes, cfg.Seed, clock, cfg.Latency, dht.Config{Replicate: cfg.Replicate})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	engines := make([]*pier.Engine, cfg.Nodes)
+	for i, n := range cl.Nodes {
+		engines[i] = pier.NewEngine(n, pier.Config{OrderBySelectivity: true, Workers: 1})
+		piersearch.RegisterSchemas(engines[i])
+	}
+
+	tr := trace.Generate(cfg.Trace)
+	replicate := cl.Nodes[0].Config().Replicate
+
+	// ---- Load phase: place the corpus directly on each tuple's true
+	// replica set. No RPCs, no virtual time: this models the index state a
+	// long-running network has already built.
+	tok := piersearch.Tokenizer{}
+	placement := tr.Placement(cfg.Nodes)
+	tuplesPlaced := 0
+	instances := 0
+	for rank, f := range tr.Files {
+		keywords := tok.Tokenize(f.Name)
+		if len(keywords) == 0 {
+			continue
+		}
+		for _, h := range placement[rank] {
+			file := piersearch.File{Name: f.Name, Size: fileSize(rank), Host: cl.Nodes[h].Info().Addr, Port: 6346}
+			instances++
+			for _, pub := range piersearch.IndexTuples(file, keywords, cfg.Mode) {
+				sch, err := schemaFor(pub.Table)
+				if err != nil {
+					return nil, err
+				}
+				key, err := sch.IndexKey(pub.Tuple)
+				if err != nil {
+					return nil, err
+				}
+				id := dht.NamespacedID(pub.Table, key)
+				data := pub.Tuple.Encode(nil)
+				for _, owner := range cl.Closest(id, replicate) {
+					owner.LocalPut(id, data)
+				}
+				tuplesPlaced++
+			}
+		}
+	}
+
+	rep := newReport(cfg, tr)
+	rep.Load = LoadStats{
+		DistinctFiles: len(tr.Files),
+		Instances:     instances,
+		TuplesPlaced:  tuplesPlaced,
+		Replicate:     replicate,
+	}
+
+	// The harness serialises all tasks, but the stats sink takes a lock
+	// anyway so the recording pattern is safe under any scheduler.
+	var mu sync.Mutex
+
+	// ---- Publish phase: measured publishes through the real engine put
+	// path from stable-core origins, paced at PublishQPS.
+	publishers := make([]*piersearch.Publisher, cfg.StableCore)
+	for i := 0; i < cfg.StableCore; i++ {
+		publishers[i] = piersearch.NewPublisher(engines[i], cfg.Mode, tok).WithWorkers(1)
+	}
+	pubLat := metrics.NewHistogram(1e-3, 1e3, 40)
+	pubFailed := 0
+	msgs0, bytes0 := cl.Net.Messages(), cl.Net.Bytes()
+	err = clock.Run(func() {
+		step := interval(cfg.PublishQPS)
+		for i := 0; i < cfg.Publishes; i++ {
+			i := i
+			clock.Go(func() {
+				rank := (i * 37) % len(tr.Files)
+				file := piersearch.File{
+					Name: tr.Files[rank].Name,
+					Size: fileSize(rank),
+					Host: fmt.Sprintf("pub-%d", i),
+					Port: 6346,
+				}
+				start := clock.Now()
+				_, perr := publishers[i%cfg.StableCore].PublishFile(file)
+				elapsed := clock.Now() - start
+				mu.Lock()
+				if perr != nil {
+					pubFailed++
+				} else {
+					pubLat.Observe(elapsed.Seconds())
+				}
+				mu.Unlock()
+			})
+			clock.Sleep(step)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scale: publish phase: %w", err)
+	}
+	msgs1, bytes1 := cl.Net.Messages(), cl.Net.Bytes()
+	rep.Publish = PhaseStats{
+		Count:     cfg.Publishes,
+		Failed:    pubFailed,
+		LatencyMs: quantilesMs(pubLat),
+		Messages:  msgs1 - msgs0,
+		Bytes:     bytes1 - bytes0,
+	}
+
+	// ---- Query phase, with churn over the non-core population.
+	queries := tr.Queries
+	step := interval(cfg.QPS)
+	population := cfg.Nodes - cfg.StableCore
+	var sched gnutella.ChurnSchedule
+	if cfg.Churn.MeanSession > 0 && population > 0 {
+		span := step*time.Duration(len(queries)) + 30*time.Second
+		sched = gnutella.GenerateChurn(gnutella.ChurnConfig{
+			Hosts:        population,
+			Horizon:      span,
+			MeanSession:  cfg.Churn.MeanSession,
+			MeanDowntime: cfg.Churn.MeanDowntime,
+			Seed:         cfg.Seed + 101,
+		})
+		base := clock.Now()
+		for _, ev := range sched.Events {
+			addr := cl.Nodes[cfg.StableCore+ev.Host].Info().Addr
+			up := ev.Up
+			clock.At(base+ev.At, func() {
+				if up {
+					cl.Net.Reattach(addr)
+				} else {
+					cl.Net.Detach(addr)
+				}
+			})
+		}
+	}
+	rep.Churn = ChurnStats{
+		Population:  population,
+		Events:      len(sched.Events),
+		MaxDownFrac: round3(sched.MaxDownFrac()),
+	}
+
+	searches := make([]*piersearch.Search, cfg.StableCore)
+	for i := 0; i < cfg.StableCore; i++ {
+		searches[i] = piersearch.NewSearch(engines[i], tok).WithWorkers(1)
+	}
+	qLat := metrics.NewHistogram(1e-3, 1e3, 40)
+	qMatchBytes := metrics.NewHistogram(1, 1e8, 10)
+	qFailed, qMatches, qShipped, qHops := 0, 0, 0, 0
+	err = clock.Run(func() {
+		for i := range queries {
+			i := i
+			clock.Go(func() {
+				start := clock.Now()
+				results, stats, qerr := searches[i%cfg.StableCore].Query(queries[i].Text, cfg.Strategy, cfg.Limit)
+				elapsed := clock.Now() - start
+				mu.Lock()
+				defer mu.Unlock()
+				if qerr != nil {
+					qFailed++
+					return
+				}
+				qLat.Observe(elapsed.Seconds())
+				qMatchBytes.Observe(float64(stats.MatchBytes))
+				qMatches += len(results)
+				qShipped += stats.PostingShipped
+				qHops += stats.Hops
+			})
+			clock.Sleep(step)
+		}
+	})
+	if err != nil {
+		return nil, fmt.Errorf("scale: query phase: %w", err)
+	}
+	msgs2, bytes2 := cl.Net.Messages(), cl.Net.Bytes()
+	rep.Query = QueryStats{
+		Count:          len(queries),
+		Failed:         qFailed,
+		Matches:        qMatches,
+		PostingShipped: qShipped,
+		LatencyMs:      quantilesMs(qLat),
+		MatchBytes:     quantilesRaw(qMatchBytes),
+		HopsMean:       round3(mean(qHops, len(queries)-qFailed)),
+		Messages:       msgs2 - msgs1,
+		Bytes:          bytes2 - bytes1,
+	}
+	rep.VirtualSeconds = round3(clock.Now().Seconds())
+	return rep, nil
+}
+
+// fileSize derives a deterministic file size from a trace rank.
+func fileSize(rank int) int64 { return int64(1<<20 + rank) }
+
+func mean(sum, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

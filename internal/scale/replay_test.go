@@ -1,0 +1,150 @@
+package scale_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+	"time"
+
+	"piersearch/internal/scale"
+	"piersearch/internal/trace"
+)
+
+// acceptanceConfig is the ISSUE's acceptance workload: a >=10k-node
+// cluster replaying a published corpus with mid-run churn. Under the race
+// detector the cluster shrinks — the detector costs an order of magnitude
+// in CPU and memory, and the contract being checked (replay completes,
+// deterministic, leak-free) does not depend on node count.
+func acceptanceConfig() scale.Config {
+	cfg := scale.Config{
+		Nodes: 10_000,
+		Seed:  1,
+		Trace: trace.Config{
+			DistinctFiles: 4_000,
+			TargetCopies:  12_000,
+			Queries:       250,
+			Seed:          1,
+		},
+		Publishes: 50,
+		QPS:       50,
+		Churn: scale.ChurnParams{
+			MeanSession:  60 * time.Second,
+			MeanDowntime: 30 * time.Second,
+		},
+	}
+	if raceEnabled {
+		cfg.Nodes = 1_500
+		cfg.Trace.DistinctFiles = 1_000
+		cfg.Trace.TargetCopies = 3_000
+		cfg.Trace.Queries = 80
+		cfg.Publishes = 20
+	}
+	return cfg
+}
+
+func TestReplayAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("acceptance replay is not a -short test")
+	}
+	start := time.Now()
+	rep, err := scale.Run(acceptanceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	if wall > 60*time.Second {
+		t.Fatalf("replay took %v wall-clock, want under 60s", wall)
+	}
+	t.Logf("replayed %d nodes in %v wall (%.1fs virtual)", rep.Config.Nodes, wall, rep.VirtualSeconds)
+
+	if rep.Schema != scale.ReportSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, scale.ReportSchema)
+	}
+	if rep.Load.TuplesPlaced == 0 || rep.Load.Instances == 0 {
+		t.Fatalf("load phase placed nothing: %+v", rep.Load)
+	}
+	if rep.Churn.Events == 0 {
+		t.Fatal("no churn events were scheduled")
+	}
+	// The workload must substantially succeed: churn may fail some
+	// queries, but a broken harness fails most of them.
+	if ok := rep.Query.Count - rep.Query.Failed; ok < rep.Query.Count/2 {
+		t.Fatalf("only %d/%d queries succeeded", ok, rep.Query.Count)
+	}
+	if rep.Publish.Failed > rep.Publish.Count/2 {
+		t.Fatalf("%d/%d publishes failed", rep.Publish.Failed, rep.Publish.Count)
+	}
+	if rep.Query.LatencyMs.P50 <= 0 || rep.Query.LatencyMs.P99 < rep.Query.LatencyMs.P50 {
+		t.Fatalf("implausible latency summary: %+v", rep.Query.LatencyMs)
+	}
+	if rep.Query.Messages == 0 || rep.Query.Bytes == 0 {
+		t.Fatal("query phase carried no traffic")
+	}
+
+	// Bounded memory: the whole cluster plus its corpus must fit well
+	// under 2 GiB of live heap.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > 2<<30 {
+		t.Fatalf("heap after replay = %d MiB, want under 2 GiB", ms.HeapAlloc>>20)
+	}
+}
+
+// determinismConfig is small enough to run twice in one test but still
+// exercises every phase, including churn.
+func determinismConfig() scale.Config {
+	return scale.Config{
+		Nodes: 600,
+		Seed:  7,
+		Trace: trace.Config{
+			DistinctFiles: 600,
+			TargetCopies:  1_800,
+			Queries:       50,
+			Seed:          7,
+		},
+		Publishes: 15,
+		QPS:       40,
+		Churn: scale.ChurnParams{
+			MeanSession:  30 * time.Second,
+			MeanDowntime: 15 * time.Second,
+		},
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	run := func() []byte {
+		rep, err := scale.Run(determinismConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed produced different reports:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+func TestReplayLeavesNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	if _, err := scale.Run(determinismConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// Task goroutines exit before Run returns; give the runtime a moment
+	// to reap anything in teardown.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before replay, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,161 @@
+package scale
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+
+	"piersearch/internal/metrics"
+	"piersearch/internal/trace"
+)
+
+// ReportSchema is the version tag of the BENCH_scale.json layout. Bump it
+// whenever a field is added, removed, or changes meaning; CI fails on
+// drift so the committed trajectory stays diffable.
+const ReportSchema = "piersearch/bench-scale/v1"
+
+// Report is the replay's serializable result. Everything in it derives
+// from virtual-time execution of a seeded config, so the same Config
+// marshals to byte-identical JSON: fields are struct-ordered (no maps),
+// floats are rounded to fixed precision, and no wall-clock quantity is
+// recorded.
+type Report struct {
+	Schema         string      `json:"schema"`
+	Config         ConfigStats `json:"config"`
+	Load           LoadStats   `json:"load"`
+	Publish        PhaseStats  `json:"publish"`
+	Query          QueryStats  `json:"query"`
+	Churn          ChurnStats  `json:"churn"`
+	VirtualSeconds float64     `json:"virtual_seconds"`
+}
+
+// ConfigStats echoes the replay parameters that shaped the run.
+type ConfigStats struct {
+	Nodes         int     `json:"nodes"`
+	StableCore    int     `json:"stable_core"`
+	Seed          int64   `json:"seed"`
+	DistinctFiles int     `json:"distinct_files"`
+	TargetCopies  int     `json:"target_copies"`
+	Queries       int     `json:"queries"`
+	Publishes     int     `json:"publishes"`
+	QPS           float64 `json:"qps"`
+	PublishQPS    float64 `json:"publish_qps"`
+	Limit         int     `json:"limit"`
+	Strategy      string  `json:"strategy"`
+	ChurnSessionS float64 `json:"churn_mean_session_s"`
+	ChurnDownS    float64 `json:"churn_mean_downtime_s"`
+}
+
+// LoadStats describes the directly placed corpus.
+type LoadStats struct {
+	DistinctFiles int `json:"distinct_files"`
+	Instances     int `json:"instances"`
+	TuplesPlaced  int `json:"tuples_placed"`
+	Replicate     int `json:"replicate"`
+}
+
+// Quantiles summarises one histogram. Units depend on the field using it.
+type Quantiles struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// PhaseStats summarises the measured publish phase.
+type PhaseStats struct {
+	Count     int       `json:"count"`
+	Failed    int       `json:"failed"`
+	LatencyMs Quantiles `json:"latency_ms"`
+	Messages  uint64    `json:"messages"`
+	Bytes     uint64    `json:"bytes"`
+}
+
+// QueryStats summarises the replayed query phase.
+type QueryStats struct {
+	Count          int       `json:"count"`
+	Failed         int       `json:"failed"`
+	Matches        int       `json:"matches"`
+	PostingShipped int       `json:"posting_shipped"`
+	LatencyMs      Quantiles `json:"latency_ms"`
+	MatchBytes     Quantiles `json:"match_bytes"`
+	HopsMean       float64   `json:"hops_mean"`
+	Messages       uint64    `json:"messages"`
+	Bytes          uint64    `json:"bytes"`
+}
+
+// ChurnStats describes the injected churn schedule.
+type ChurnStats struct {
+	Population  int     `json:"population"`
+	Events      int     `json:"events"`
+	MaxDownFrac float64 `json:"max_down_frac"`
+}
+
+func newReport(cfg Config, tr *trace.Trace) *Report {
+	return &Report{
+		Schema: ReportSchema,
+		Config: ConfigStats{
+			Nodes:         cfg.Nodes,
+			StableCore:    cfg.StableCore,
+			Seed:          cfg.Seed,
+			DistinctFiles: len(tr.Files),
+			TargetCopies:  tr.TotalInstances(),
+			Queries:       len(tr.Queries),
+			Publishes:     cfg.Publishes,
+			QPS:           cfg.QPS,
+			PublishQPS:    cfg.PublishQPS,
+			Limit:         cfg.Limit,
+			Strategy:      cfg.Strategy.String(),
+			ChurnSessionS: cfg.Churn.MeanSession.Seconds(),
+			ChurnDownS:    cfg.Churn.MeanDowntime.Seconds(),
+		},
+	}
+}
+
+// round3 rounds to three decimals so float noise cannot leak formatting
+// differences into the committed JSON.
+func round3(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Round(v*1000) / 1000
+}
+
+// quantilesMs converts a seconds-histogram into a millisecond summary.
+func quantilesMs(h *metrics.Histogram) Quantiles { return summarize(h, 1000) }
+
+// quantilesRaw summarises a histogram in its native unit.
+func quantilesRaw(h *metrics.Histogram) Quantiles { return summarize(h, 1) }
+
+func summarize(h *metrics.Histogram, scale float64) Quantiles {
+	if h.Count() == 0 {
+		return Quantiles{}
+	}
+	return Quantiles{
+		P50:  round3(h.HistQuantile(0.50) * scale),
+		P95:  round3(h.HistQuantile(0.95) * scale),
+		P99:  round3(h.HistQuantile(0.99) * scale),
+		Mean: round3(h.Mean() * scale),
+		Max:  round3(h.Max() * scale),
+	}
+}
+
+// Marshal renders the report as indented JSON with a trailing newline —
+// the exact bytes committed as BENCH_scale.json.
+func (r *Report) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}

@@ -1,0 +1,45 @@
+package simnet_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"piersearch/internal/dht"
+	"piersearch/internal/dht/dhttest"
+	"piersearch/internal/simnet"
+)
+
+func TestRealTimeConformance(t *testing.T) {
+	dhttest.RunConformance(t, func(t *testing.T) *dhttest.Harness {
+		// A small constant latency keeps the wall-clock suite fast while
+		// still exercising the sleeping call paths.
+		rt := simnet.NewRealTime(simnet.Constant(200*time.Microsecond), 1)
+		rng := rand.New(rand.NewSource(7))
+		next := 0
+		return &dhttest.Harness{
+			Transport: rt,
+			NewNode: func() *dht.Node {
+				n := dht.NewNode(dht.NodeInfo{ID: dht.SeededID(rng), Addr: fmt.Sprintf("rt-%d", next)}, rt, dht.Config{})
+				next++
+				rt.Join(n)
+				t.Cleanup(func() { n.Close() }) //nolint:errcheck // test teardown
+				return n
+			},
+			Detach: rt.Remove,
+			Run: func(fns ...func()) {
+				var wg sync.WaitGroup
+				for _, fn := range fns {
+					wg.Add(1)
+					go func(fn func()) {
+						defer wg.Done()
+						fn()
+					}(fn)
+				}
+				wg.Wait()
+			},
+		}
+	})
+}
