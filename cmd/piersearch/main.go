@@ -42,6 +42,7 @@ import (
 	"time"
 
 	"piersearch/internal/dht"
+	"piersearch/internal/hotcache"
 	"piersearch/internal/pier"
 	"piersearch/internal/piersearch"
 	"piersearch/internal/service"
@@ -76,6 +77,11 @@ func run() int {
 	storeKind := flag.String("store", "mem", "local value store: mem or disk")
 	dataDir := flag.String("data-dir", "piersearch-data", "directory for the disk store's WAL and segments")
 	syncWrites := flag.Bool("sync", false, "fsync every group commit (disk store only)")
+	cache := flag.Bool("cache", true, "hot-key tier: posting/result cache, singleflight, replica fan-out")
+	cacheBytes := flag.Int64("cache-bytes", 32<<20, "hot-key cache budget in bytes")
+	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "hot-key cache entry TTL")
+	perClientQPS := flag.Int("per-client-qps", 0, "admission control: per-client queries+publishes/s (0 disables)")
+	perClientBurst := flag.Int("per-client-burst", 0, "per-client burst allowance (0 = same as -per-client-qps)")
 	var publishes publishList
 	flag.Var(&publishes, "publish", "filename to publish (repeatable)")
 	flag.Parse()
@@ -101,6 +107,8 @@ func run() int {
 		strat: strat, limit: *limit, explain: *explain, maxQueries: *maxQueries,
 		daemon: *daemon, stdinPublish: *stdinPublish, storeKind: *storeKind,
 		dataDir: *dataDir, syncWrites: *syncWrites, publishes: publishes,
+		cache: *cache, cacheBytes: *cacheBytes, cacheTTL: *cacheTTL,
+		perClientQPS: *perClientQPS, perClientBurst: *perClientBurst,
 	})
 }
 
@@ -194,6 +202,11 @@ type daemonConfig struct {
 	storeKind, dataDir            string
 	syncWrites                    bool
 	publishes                     publishList
+
+	cache                        bool
+	cacheBytes                   int64
+	cacheTTL                     time.Duration
+	perClientQPS, perClientBurst int
 }
 
 func runDaemon(ctx context.Context, dc daemonConfig) int {
@@ -242,6 +255,13 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 
 	engine := pier.NewEngine(node, pier.Config{OrderBySelectivity: true})
 	piersearch.RegisterSchemas(engine)
+	if dc.cache {
+		engine.SetHotTier(hotcache.NewTier(hotcache.Options{
+			MaxBytes: dc.cacheBytes,
+			TTL:      dc.cacheTTL,
+		}))
+		log.Printf("hot-key tier on (%d MiB, %v TTL)", dc.cacheBytes>>20, dc.cacheTTL)
+	}
 	searcher := piersearch.NewSearch(engine, piersearch.Tokenizer{})
 	pub := piersearch.NewPublisher(engine, piersearch.ModeBoth, piersearch.Tokenizer{})
 
@@ -254,8 +274,10 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 			return 1
 		}
 		svc := service.NewServer(svcLn, searcher, pub, service.Options{
-			MaxQueries: dc.maxQueries,
-			Logf:       log.Printf,
+			MaxQueries:     dc.maxQueries,
+			PerClientQPS:   dc.perClientQPS,
+			PerClientBurst: dc.perClientBurst,
+			Logf:           log.Printf,
 		})
 		go svc.Serve() //nolint:errcheck // closed below
 		defer svc.Close()

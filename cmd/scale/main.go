@@ -41,6 +41,13 @@ func main() {
 		downtime  = flag.Duration("churn-downtime", time.Minute, "mean node down-time before rejoin")
 		limit     = flag.Int("limit", 10, "per-query result limit")
 		out       = flag.String("out", "BENCH_scale.json", "output path (- for stdout)")
+
+		hotQueries = flag.Int("hot-queries", 300, "hot-key phase: measured Zipf queries per phase (0 disables)")
+		hotWarmup  = flag.Int("hot-warmup", 0, "hot-key phase: warm-up queries (0 = origins*terms)")
+		hotQPS     = flag.Float64("hot-qps", 200, "hot-key phase: arrival rate (virtual time)")
+		hotTerms   = flag.Int("hot-terms", 12, "hot-key phase: hot vocabulary size")
+		hotOrigins = flag.Int("hot-origins", 4, "hot-key phase: query origin count")
+		hotZipf    = flag.Float64("hot-zipf", 1.1, "hot-key phase: Zipf exponent over the hot terms")
 	)
 	flag.Parse()
 
@@ -60,6 +67,14 @@ func main() {
 			MeanSession:  *session,
 			MeanDowntime: *downtime,
 		},
+		HotKey: scale.HotKeyParams{
+			Queries: *hotQueries,
+			Warmup:  *hotWarmup,
+			QPS:     *hotQPS,
+			Terms:   *hotTerms,
+			Origins: *hotOrigins,
+			ZipfS:   *hotZipf,
+		},
 	}
 
 	start := time.Now()
@@ -69,6 +84,11 @@ func main() {
 	}
 	log.Printf("replayed %d nodes, %d queries (%d failed) in %v wall, %.1fs virtual",
 		rep.Config.Nodes, rep.Query.Count, rep.Query.Failed, time.Since(start).Round(time.Millisecond), rep.VirtualSeconds)
+	if hk := rep.HotKey; hk != nil {
+		log.Printf("hot-key: hottest node %d -> %d msgs (%.1fx), p99 %.0fms -> %.0fms",
+			hk.Baseline.HottestNode.Messages, hk.Cached.HottestNode.Messages,
+			hk.HottestMsgReduction, hk.Baseline.LatencyMs.P99, hk.Cached.LatencyMs.P99)
+	}
 
 	if *out == "-" {
 		b, err := rep.Marshal()

@@ -123,6 +123,25 @@ func BenchmarkCodecVsGobPostings(b *testing.B) {
 	}
 }
 
+// BenchmarkValueSetDecodeAllocs tracks the allocation cost of decoding a
+// posting payload: the uniform path now builds every value off one
+// backing array, so allocs/op stays flat as the set grows instead of
+// scaling with the number of fileIDs.
+func BenchmarkValueSetDecodeAllocs(b *testing.B) {
+	for _, n := range []int{16, 256, 4096} {
+		_, candidates, _ := chainFixture(n)
+		wire := pier.EncodeValueSet(nil, candidates)
+		b.Run(fmt.Sprintf("ids=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pier.DecodeValueSet(wire); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // TestCodecByteReduction is the committed acceptance check: ≥30% fewer
 // encoded bytes than gob for chain messages at realistic candidate-set
 // sizes (the paper's rare-item queries and the Bloom pre-join keep

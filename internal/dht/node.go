@@ -93,6 +93,13 @@ type Node struct {
 	mu       sync.Mutex // guards handlers
 	handlers map[string]AppHandler
 
+	// storeObs, when set, runs after every local store mutation — both
+	// this node's own puts and inbound replica STOREs. The hot-key cache
+	// tier hangs its invalidation-on-publish off this hook: the STORE RPC
+	// a publisher already sends doubles as the purge hint at every
+	// replica, with no extra wire traffic.
+	storeObs atomic.Pointer[func(ID)]
+
 	closeOnce sync.Once
 	closeErr  error
 
@@ -298,6 +305,7 @@ func (n *Node) HandleRPC(req *Request) *Response {
 
 	case RPCStore:
 		n.store.Put(req.Target, req.Value)
+		n.notifyStore(req.Target)
 		return &Response{From: n.self, OK: true}
 
 	case RPCApp:
@@ -517,6 +525,7 @@ func (n *Node) PutIDContext(ctx context.Context, key ID, data []byte) (LookupSta
 	// If we are among the closest, hold a replica locally too.
 	if n.selfAmongClosest(key, closest) || stored == 0 {
 		n.store.Put(key, value)
+		n.notifyStore(key)
 	}
 	if stored == 0 && len(closest) > 0 && closest[0].ID != n.self.ID {
 		return stats, fmt.Errorf("dht: put %s: no replica stored", key.Short())
@@ -663,6 +672,38 @@ func (n *Node) LocalPut(key ID, data []byte) {
 		StoredAt:  n.info.Clock(),
 		TTL:       n.info.TTL,
 	})
+	n.notifyStore(key)
+}
+
+// SetStoreObserver installs fn to run after every local store mutation
+// (nil removes it). fn must be fast and must not call back into the
+// node's network operations.
+func (n *Node) SetStoreObserver(fn func(key ID)) {
+	if fn == nil {
+		n.storeObs.Store(nil)
+		return
+	}
+	n.storeObs.Store(&fn)
+}
+
+func (n *Node) notifyStore(key ID) {
+	if fn := n.storeObs.Load(); fn != nil {
+		(*fn)(key)
+	}
+}
+
+// HandleApp invokes this node's own handler for app, exactly as if the
+// message had arrived over the network from itself. Callers that resolve
+// holders themselves (replica fan-out reads) use it when the local node
+// is the chosen holder.
+func (n *Node) HandleApp(app string, data []byte) ([]byte, error) {
+	n.mu.Lock()
+	h := n.handlers[app]
+	n.mu.Unlock()
+	if h == nil {
+		return nil, fmt.Errorf("dht: no app handler %q", app)
+	}
+	return h(n.self, data), nil
 }
 
 // Republish re-stores every locally held value, refreshing replicas after

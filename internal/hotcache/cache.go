@@ -1,0 +1,241 @@
+package hotcache
+
+import (
+	"container/list"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Clock reports the current time as an offset from an arbitrary fixed
+// epoch. Only differences between readings matter, so both wall clocks
+// and the scale harness's virtual clock satisfy it.
+type Clock func() time.Duration
+
+// monotonic is the default Clock: offsets from process start on the
+// runtime's monotonic clock.
+func monotonic() Clock {
+	start := time.Now()
+	return func() time.Duration { return time.Since(start) }
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's counters.
+type CacheStats struct {
+	Entries       int   // live entries across all shards
+	Bytes         int64 // accounted size of live entries
+	Hits          int64
+	Misses        int64
+	Evictions     int64 // removed to stay under the byte budget
+	Expirations   int64 // removed because their TTL lapsed
+	Invalidations int64 // removed by InvalidateTag
+}
+
+// Cache is a sharded, size-bounded LRU with per-entry TTL and tag-based
+// invalidation. It stores opaque values under string keys; the caller
+// supplies an approximate byte size per entry, and the cache evicts
+// least-recently-used entries per shard to stay under its budget.
+//
+// Values are shared between the inserter and every Get caller — treat
+// them as immutable after Put.
+type Cache struct {
+	shards []cacheShard
+	mask   uint32
+	ttl    time.Duration
+	now    Clock
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	evictions     atomic.Int64
+	expirations   atomic.Int64
+	invalidations atomic.Int64
+}
+
+type cacheShard struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	lru     *list.List // front = most recently used
+	entries map[string]*list.Element
+	// byTag indexes live entry keys by tag, so a publish for one DHT key
+	// can purge every entry derived from it without scanning the shard.
+	byTag map[string]map[string]struct{}
+}
+
+type cacheEntry struct {
+	key     string
+	val     any
+	size    int64
+	tags    []string
+	expires time.Duration
+}
+
+// entryOverhead approximates the bookkeeping cost per entry (map slots,
+// list element, tags) charged on top of the caller-supplied size.
+const entryOverhead = 96
+
+// NewCache builds a cache bounded to roughly maxBytes across shards.
+// shards is rounded up to a power of two (minimum 1); ttl is the fixed
+// per-entry lifetime; now may be nil for the monotonic wall clock.
+func NewCache(maxBytes int64, shards int, ttl time.Duration, now Clock) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = 16 << 20
+	}
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	if now == nil {
+		now = monotonic()
+	}
+	c := &Cache{shards: make([]cacheShard, n), mask: uint32(n - 1), ttl: ttl, now: now}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.budget = maxBytes / int64(n)
+		if s.budget < 1 {
+			s.budget = 1
+		}
+		s.lru = list.New()
+	}
+	return c
+}
+
+func (c *Cache) shard(key string) *cacheShard {
+	h := fnv.New32a()
+	h.Write([]byte(key)) //nolint:errcheck // fnv never fails
+	return &c.shards[h.Sum32()&c.mask]
+}
+
+// Get returns the value stored under key, if present and unexpired.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if c.now() >= e.expires {
+		s.removeLocked(el, e)
+		s.mu.Unlock()
+		c.expirations.Add(1)
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return e.val, true
+}
+
+// Put stores val under key with the cache's TTL. size is the caller's
+// estimate of the value's footprint; tags name the DHT keys the value
+// derives from, for InvalidateTag. An existing entry under key is
+// replaced. Values larger than a shard's whole budget are not cached.
+func (c *Cache) Put(key string, val any, size int64, tags ...string) {
+	if size < 0 {
+		size = 0
+	}
+	size += entryOverhead + int64(len(key))
+	s := c.shard(key)
+	if size > s.budget {
+		return
+	}
+	e := &cacheEntry{key: key, val: val, size: size, tags: tags, expires: c.now() + c.ttl}
+	s.mu.Lock()
+	if old, ok := s.entries[key]; ok {
+		s.removeLocked(old, old.Value.(*cacheEntry))
+	}
+	if s.entries == nil {
+		// Lazy maps: a 10k-node replay builds 10k caches, most of which
+		// only ever see a few keys.
+		s.entries = make(map[string]*list.Element, 8)
+	}
+	s.entries[key] = s.lru.PushFront(e)
+	s.bytes += size
+	for _, tag := range tags {
+		if s.byTag == nil {
+			s.byTag = make(map[string]map[string]struct{}, 8)
+		}
+		keys := s.byTag[tag]
+		if keys == nil {
+			keys = make(map[string]struct{}, 2)
+			s.byTag[tag] = keys
+		}
+		keys[key] = struct{}{}
+	}
+	evicted := 0
+	for s.bytes > s.budget {
+		tail := s.lru.Back()
+		if tail == nil {
+			break
+		}
+		s.removeLocked(tail, tail.Value.(*cacheEntry))
+		evicted++
+	}
+	s.mu.Unlock()
+	if evicted > 0 {
+		c.evictions.Add(int64(evicted))
+	}
+}
+
+// InvalidateTag removes every entry carrying tag and reports how many
+// were dropped.
+func (c *Cache) InvalidateTag(tag string) int {
+	removed := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for key := range s.byTag[tag] {
+			if el, ok := s.entries[key]; ok {
+				s.removeLocked(el, el.Value.(*cacheEntry))
+				removed++
+			}
+		}
+		s.mu.Unlock()
+	}
+	if removed > 0 {
+		c.invalidations.Add(int64(removed))
+	}
+	return removed
+}
+
+// removeLocked unlinks an entry and its tag index references. Caller
+// holds the shard lock.
+func (s *cacheShard) removeLocked(el *list.Element, e *cacheEntry) {
+	s.lru.Remove(el)
+	delete(s.entries, e.key)
+	s.bytes -= e.size
+	for _, tag := range e.tags {
+		if keys := s.byTag[tag]; keys != nil {
+			delete(keys, e.key)
+			if len(keys) == 0 {
+				delete(s.byTag, tag)
+			}
+		}
+	}
+}
+
+// Stats snapshots the cache's counters and current occupancy.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Expirations:   c.expirations.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,28 @@
+// Package hotcache is the hot-key survival tier: the pieces a node puts
+// in front of its DHT read path so that Zipfian workloads — where a
+// handful of popular keys absorb most of the traffic — do not melt the
+// keys' owners.
+//
+// The package is deliberately free of dht/pier dependencies so it can be
+// unit-tested in isolation and reused by any layer. It provides four
+// cooperating pieces, usually bundled into a Tier:
+//
+//   - Cache: a sharded, size-bounded LRU with per-entry TTL and tag-based
+//     invalidation. Entries carry tags (one per DHT key they derive from);
+//     a publish for that key purges every dependent entry at once.
+//   - Group: singleflight coalescing. N concurrent callers asking for the
+//     same key share one execution of the fetch function; the result fans
+//     out to all waiters. The wait primitive is pluggable so callers on a
+//     virtual clock (internal/scale) can poll via clock sleeps instead of
+//     blocking on a channel.
+//   - Sketch: a decaying count-min frequency sketch approximating a
+//     sliding-window per-key request rate. Keys whose estimate crosses a
+//     threshold are "hot" and eligible for replica fan-out reads.
+//   - Tier: the bundle an Engine installs — data cache, route cache,
+//     flight group, sketch, and the counters (hits, coalesced, fan-out
+//     reads, invalidations) the scale report aggregates.
+//
+// Time is injected as a Clock — a func returning an offset from an
+// arbitrary epoch — so TTL and sketch decay run on virtual time inside
+// the scale harness and on the monotonic wall clock everywhere else.
+package hotcache

@@ -1,0 +1,79 @@
+package hotcache
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// WaitFunc blocks until done is closed or ctx is canceled, returning
+// ctx.Err() in the latter case. The default select-based wait is right
+// for wall-clock callers; the scale harness substitutes a poll loop over
+// its virtual clock's Sleep, because a bare channel receive would stall
+// the serialized clock ("tasks blocked outside the clock").
+type WaitFunc func(ctx context.Context, done <-chan struct{}) error
+
+func defaultWait(ctx context.Context, done <-chan struct{}) error {
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Group coalesces concurrent calls for the same key into one execution:
+// the first caller (the leader) runs fn, every overlapping caller waits
+// and shares the leader's result. Distinct keys proceed independently.
+type Group struct {
+	// Wait overrides how non-leaders block for the leader (nil = channel
+	// select). Set once, before use.
+	Wait WaitFunc
+
+	mu        sync.Mutex
+	flights   map[string]*flight
+	coalesced atomic.Int64
+}
+
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// Do runs fn under key, coalescing with any in-flight call for the same
+// key. shared is true when this caller got the leader's result instead
+// of running fn itself. A canceled waiter returns its ctx error without
+// disturbing the leader.
+func (g *Group) Do(ctx context.Context, key string, fn func() (any, error)) (val any, shared bool, err error) {
+	g.mu.Lock()
+	if f, ok := g.flights[key]; ok {
+		g.mu.Unlock()
+		g.coalesced.Add(1)
+		wait := g.Wait
+		if wait == nil {
+			wait = defaultWait
+		}
+		if err := wait(ctx, f.done); err != nil {
+			return nil, true, err
+		}
+		return f.val, true, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	if g.flights == nil {
+		g.flights = make(map[string]*flight, 4)
+	}
+	g.flights[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// Coalesced reports how many callers shared a leader's result.
+func (g *Group) Coalesced() int64 { return g.coalesced.Load() }

@@ -14,7 +14,6 @@ import (
 	"sync"
 
 	"piersearch/internal/bloom"
-	"piersearch/internal/codec"
 	"piersearch/internal/dht"
 )
 
@@ -273,18 +272,26 @@ func (e *Engine) ChainJoinConcurrent(table string, keys []Value, joinCol string,
 // dispatched, in-flight probes abandon their round-trip), the dispatch,
 // and the wait for the chain's result.
 func (e *Engine) ChainJoinConcurrentContext(ctx context.Context, table string, keys []Value, joinCol string, limit int) ([]Value, OpStats, error) {
-	var stats OpStats
 	if len(keys) == 0 {
-		return nil, stats, fmt.Errorf("pier: chain join needs at least one key")
+		return nil, OpStats{}, fmt.Errorf("pier: chain join needs at least one key")
 	}
 	sch, ok := e.Schema(table)
 	if !ok {
-		return nil, stats, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
+		return nil, OpStats{}, fmt.Errorf("%w: %s", ErrNoSuchTable, table)
 	}
 	if sch.ColIndex(joinCol) < 0 {
-		return nil, stats, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, joinCol)
+		return nil, OpStats{}, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, joinCol)
 	}
+	return e.joinCached(ctx, table, keys, joinCol, limit, func(ctx context.Context) ([]Value, OpStats, error) {
+		return e.chainJoinConcurrentRun(ctx, table, keys, joinCol, limit)
+	})
+}
 
+// chainJoinConcurrentRun is the probe+dispatch body of
+// ChainJoinConcurrentContext, split out so the tier's result cache and
+// singleflight wrap it whole.
+func (e *Engine) chainJoinConcurrentRun(ctx context.Context, table string, keys []Value, joinCol string, limit int) ([]Value, OpStats, error) {
+	var stats OpStats
 	msg := chainMsg{
 		Table:   table,
 		JoinCol: joinCol,
@@ -340,18 +347,11 @@ func (e *Engine) probeKeys(ctx context.Context, table string, keys []Value, join
 	}
 	var g gauge
 	forEachCtx(ctx, len(keys), e.cfg.Workers, &g, func(i int) {
-		req := bloomMsg{Table: table, Key: keys[i], JoinCol: joinCol, Bits: e.cfg.BloomBits, Hashes: e.cfg.BloomHashes}
-		buf := encodeBloomMsg(codec.GetBuf(), &req)
-		reply, ls, err := e.node.SendContext(ctx, keyID(table, keys[i]), appBloom, buf)
-		codec.PutBuf(buf)
+		br, st, err := e.bloomProbe(ctx, table, keys[i], joinCol)
 		mu.Lock()
-		stats.addLookup(ls)
+		stats.Add(st)
 		mu.Unlock()
 		if err != nil {
-			return
-		}
-		br, err := decodeBloomReply(reply)
-		if err != nil || br.Err != "" {
 			return
 		}
 		probes[i].count = br.Count

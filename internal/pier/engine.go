@@ -11,6 +11,7 @@ import (
 
 	"piersearch/internal/codec"
 	"piersearch/internal/dht"
+	"piersearch/internal/hotcache"
 )
 
 // App-handler dispatch keys on the DHT's application channel.
@@ -34,12 +35,34 @@ type OpStats struct {
 	// MaxInFlight is the high-water mark of concurrent DHT operations the
 	// engine had outstanding for this call (1 for fully sequential plans).
 	MaxInFlight int
+	// CacheHits counts sub-operations answered from the hot-key tier
+	// without any network traffic; Coalesced counts sub-operations that
+	// shared another caller's in-flight result; FanoutReads counts hot-key
+	// reads diverted from the XOR-closest owner to another replica. All
+	// zero when no tier is installed.
+	CacheHits   int
+	Coalesced   int
+	FanoutReads int
 }
 
 func (s *OpStats) addLookup(l dht.LookupStats) {
 	s.Messages += l.Messages
 	s.Bytes += l.Bytes
 	s.Hops += l.Hops
+}
+
+// Add folds o into s; MaxInFlight merges as a high-water mark.
+func (s *OpStats) Add(o OpStats) {
+	s.Messages += o.Messages
+	s.Bytes += o.Bytes
+	s.Hops += o.Hops
+	s.PostingShipped += o.PostingShipped
+	s.CacheHits += o.CacheHits
+	s.Coalesced += o.Coalesced
+	s.FanoutReads += o.FanoutReads
+	if o.MaxInFlight > s.MaxInFlight {
+		s.MaxInFlight = o.MaxInFlight
+	}
 }
 
 // chainMsg is the plan+stream message forwarded along the keyword chain.
@@ -161,6 +184,10 @@ type Engine struct {
 	schemas map[string]*Schema
 	waiters map[uint64]chan resultMsg
 	nextQID atomic.Uint64
+
+	// hot is the optional hot-key survival tier (see hot.go); nil means
+	// every path runs exactly as without one.
+	hot atomic.Pointer[hotcache.Tier]
 }
 
 // NewEngine creates an engine bound to node and installs its app handlers.
@@ -217,7 +244,17 @@ func (e *Engine) PublishContext(ctx context.Context, table string, t Tuple) (dht
 	if err != nil {
 		return dht.LookupStats{}, err
 	}
-	return e.node.PutContext(ctx, table, key, t.Encode(nil))
+	ls, err := e.node.PutContext(ctx, table, key, t.Encode(nil))
+	if err == nil {
+		if ht := e.hot.Load(); ht != nil {
+			// Invalidation-on-publish, requester side: any cached result
+			// derived from this key is stale the moment the put acks. The
+			// replicas purge through the dht store observer.
+			id := dht.NamespacedID(table, key)
+			ht.InvalidateID(id[:])
+		}
+	}
+	return ls, err
 }
 
 // decodeValues parses a list of stored values into tuples.
@@ -234,9 +271,27 @@ func decodeValues(values []dht.StoredValue) ([]Tuple, error) {
 }
 
 // LocalScan returns the tuples of table stored on this node under key,
-// without any network traffic.
+// without any network traffic. With a hot tier installed the decoded
+// posting set is cached (and invalidated when a new replica store for
+// the key arrives), so repeated scans of a hot key skip the per-request
+// decode; callers must treat the returned tuples as immutable.
 func (e *Engine) LocalScan(table string, key Value) ([]Tuple, error) {
-	return decodeValues(e.node.LocalGet(keyID(table, key)))
+	id := keyID(table, key)
+	t := e.hot.Load()
+	if t == nil {
+		return decodeValues(e.node.LocalGet(id))
+	}
+	tag := string(id[:])
+	ck := "p|" + tag
+	if v, ok := t.Data.Get(ck); ok {
+		return v.([]Tuple), nil
+	}
+	tuples, err := decodeValues(e.node.LocalGet(id))
+	if err != nil {
+		return nil, err
+	}
+	t.Data.Put(ck, tuples, tuplesSize(tuples), tag)
+	return tuples, nil
 }
 
 // Fetch retrieves the tuples of table stored in the DHT under key.
@@ -260,19 +315,12 @@ func (e *Engine) Count(table string, key Value) (int, dht.LookupStats, error) {
 	return e.CountContext(context.Background(), table, key)
 }
 
-// CountContext is Count under a context.
+// CountContext is Count under a context. With a hot tier installed the
+// probe is cached, coalesced with identical in-flight probes, and
+// fanned out across replicas for hot keys.
 func (e *Engine) CountContext(ctx context.Context, table string, key Value) (int, dht.LookupStats, error) {
-	buf := encodeCountMsg(codec.GetBuf(), &countMsg{Table: table, Key: key})
-	reply, stats, err := e.node.SendContext(ctx, keyID(table, key), appCount, buf)
-	codec.PutBuf(buf)
-	if err != nil {
-		return 0, stats, err
-	}
-	n, err := decodeCountReply(reply)
-	if err != nil {
-		return 0, stats, fmt.Errorf("%w: %v", ErrDecode, err)
-	}
-	return n, stats, nil
+	n, st, err := e.countCached(ctx, table, key)
+	return n, dht.LookupStats{Messages: st.Messages, Bytes: st.Bytes, Hops: st.Hops}, err
 }
 
 func (e *Engine) handleCount(_ dht.NodeInfo, data []byte) []byte {
@@ -313,20 +361,23 @@ func (e *Engine) ChainJoinContext(ctx context.Context, table string, keys []Valu
 		return nil, stats, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, joinCol)
 	}
 
-	if e.cfg.OrderBySelectivity && len(keys) > 1 {
-		keys = e.orderBySelectivity(ctx, table, keys, &stats)
-		if err := ctx.Err(); err != nil {
-			return nil, stats, fmt.Errorf("pier: chain join: %w", err)
+	return e.joinCached(ctx, table, keys, joinCol, limit, func(ctx context.Context) ([]Value, OpStats, error) {
+		var stats OpStats
+		ordered := keys
+		if e.cfg.OrderBySelectivity && len(ordered) > 1 {
+			ordered = e.orderBySelectivity(ctx, table, ordered, &stats)
+			if err := ctx.Err(); err != nil {
+				return nil, stats, fmt.Errorf("pier: chain join: %w", err)
+			}
 		}
-	}
-
-	msg := chainMsg{
-		Table:   table,
-		JoinCol: joinCol,
-		Keys:    keys,
-		Origin:  e.node.Info(),
-	}
-	return e.dispatchChain(ctx, msg, &stats, limit)
+		msg := chainMsg{
+			Table:   table,
+			JoinCol: joinCol,
+			Keys:    ordered,
+			Origin:  e.node.Info(),
+		}
+		return e.dispatchChain(ctx, msg, &stats, limit)
+	})
 }
 
 // dispatchChain registers a result waiter, ships msg to the owner of the
@@ -346,9 +397,8 @@ func (e *Engine) dispatchChain(ctx context.Context, msg chainMsg, stats *OpStats
 	}()
 
 	buf := encodeChainMsg(codec.GetBuf(), &msg)
-	_, ls, err := e.node.SendContext(ctx, keyID(msg.Table, msg.Keys[0]), appChain, buf)
+	_, err := e.sendRead(ctx, keyID(msg.Table, msg.Keys[0]), appChain, buf, stats)
 	codec.PutBuf(buf)
-	stats.addLookup(ls)
 	if err != nil {
 		return nil, *stats, fmt.Errorf("pier: chain dispatch: %w", err)
 	}
@@ -388,12 +438,12 @@ func (e *Engine) orderBySelectivity(ctx context.Context, table string, keys []Va
 	}
 	var g gauge
 	forEachCtx(ctx, len(keys), e.cfg.Workers, &g, func(i int) {
-		n, ls, err := e.CountContext(ctx, table, keys[i])
+		n, st, err := e.countCached(ctx, table, keys[i])
 		if err != nil {
 			n = 1 << 30
 		}
 		mu.Lock()
-		stats.addLookup(ls)
+		stats.Add(st)
 		mu.Unlock()
 		sizedKeys[i] = sized{keys[i], n}
 	})
@@ -497,7 +547,7 @@ func (e *Engine) runChainStep(msg chainMsg) {
 	next.Shipped += len(survivors)
 	next.Hops++
 	buf := encodeChainMsg(codec.GetBuf(), &next)
-	_, _, err = e.node.Send(keyID(msg.Table, msg.Keys[next.Step]), appChain, buf)
+	_, err = e.sendRead(context.Background(), keyID(msg.Table, msg.Keys[next.Step]), appChain, buf, nil)
 	codec.PutBuf(buf)
 	if err != nil {
 		fail(fmt.Errorf("forward to step %d: %w", next.Step, err))
@@ -551,30 +601,56 @@ func (e *Engine) CacheSelectContext(ctx context.Context, table string, key Value
 	if sch.ColIndex(textCol) < 0 {
 		return nil, stats, fmt.Errorf("%w: %s.%s", ErrNoSuchColumn, table, textCol)
 	}
-	msg := cacheMsg{Table: table, Key: key, TextCol: textCol, Filters: filters, Limit: limit}
-	buf := encodeCacheMsg(codec.GetBuf(), &msg)
-	reply, ls, err := e.node.SendContext(ctx, keyID(table, key), appCache, buf)
-	codec.PutBuf(buf)
-	stats.addLookup(ls)
+	do := func() ([]Tuple, error) {
+		msg := cacheMsg{Table: table, Key: key, TextCol: textCol, Filters: filters, Limit: limit}
+		buf := encodeCacheMsg(codec.GetBuf(), &msg)
+		reply, err := e.sendRead(ctx, keyID(table, key), appCache, buf, &stats)
+		codec.PutBuf(buf)
+		if err != nil {
+			return nil, err
+		}
+		cr, err := decodeCacheReply(reply)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+		}
+		if cr.Err != "" {
+			return nil, fmt.Errorf("pier: cache select: %s", cr.Err)
+		}
+		tuples := make([]Tuple, 0, len(cr.Tuples))
+		for _, raw := range cr.Tuples {
+			t, _, err := DecodeTuple(raw)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrDecode, err)
+			}
+			tuples = append(tuples, t)
+		}
+		return tuples, nil
+	}
+	ht := e.hot.Load()
+	if ht == nil {
+		tuples, err := do()
+		return tuples, stats, err
+	}
+	sig, tag := selectSig(table, key, filters, textCol, limit)
+	if v, ok := ht.Data.Get(sig); ok {
+		stats.CacheHits++
+		return v.([]Tuple), stats, nil
+	}
+	v, shared, err := ht.Flights.Do(ctx, sig, func() (any, error) {
+		tuples, err := do()
+		if err != nil {
+			return nil, err
+		}
+		ht.Data.Put(sig, tuples, tuplesSize(tuples), tag)
+		return tuples, nil
+	})
+	if shared {
+		stats.Coalesced++
+	}
 	if err != nil {
 		return nil, stats, err
 	}
-	cr, err := decodeCacheReply(reply)
-	if err != nil {
-		return nil, stats, fmt.Errorf("%w: %v", ErrDecode, err)
-	}
-	if cr.Err != "" {
-		return nil, stats, fmt.Errorf("pier: cache select: %s", cr.Err)
-	}
-	tuples := make([]Tuple, 0, len(cr.Tuples))
-	for _, raw := range cr.Tuples {
-		t, _, err := DecodeTuple(raw)
-		if err != nil {
-			return nil, stats, fmt.Errorf("%w: %v", ErrDecode, err)
-		}
-		tuples = append(tuples, t)
-	}
-	return tuples, stats, nil
+	return v.([]Tuple), stats, nil
 }
 
 func (e *Engine) handleCache(_ dht.NodeInfo, data []byte) []byte {

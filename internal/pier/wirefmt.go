@@ -243,6 +243,10 @@ func readValueSet(r *codec.Reader) []Value {
 			return nil
 		}
 		out := make([]Value, 0, n)
+		// One backing array for every value instead of a make per value:
+		// the size is already capped by the maxDecodedSetBytes check above,
+		// and a posting set of 10k fileIDs costs 1 allocation, not 10k.
+		backing := make([]byte, uint64(n)*width)
 		var prev []byte
 		for i := 0; i < n; i++ {
 			var shared uint64
@@ -256,7 +260,7 @@ func readValueSet(r *codec.Reader) []Value {
 					return nil
 				}
 			}
-			b := make([]byte, width)
+			b := backing[uint64(i)*width : uint64(i+1)*width : uint64(i+1)*width]
 			copy(b, prev[:shared])
 			suffix := r.Take(int(width - shared))
 			if r.Err() != nil {
@@ -464,8 +468,15 @@ func decodeCacheReply(data []byte) (cacheReply, error) {
 	checkVersion(r)
 	m := cacheReply{Err: r.String()}
 	n := r.Count()
-	for i := 0; i < n && r.Err() == nil; i++ {
-		m.Tuples = append(m.Tuples, r.Bytes())
+	if r.Err() == nil && n > 0 {
+		// Tuples alias the input buffer (View, no copy): every consumer
+		// immediately re-decodes them through DecodeTuple, which copies its
+		// payloads, so the views never outlive data. Count has bounded n by
+		// the remaining buffer, making the preallocation safe.
+		m.Tuples = make([][]byte, 0, n)
+		for i := 0; i < n && r.Err() == nil; i++ {
+			m.Tuples = append(m.Tuples, r.View())
+		}
 	}
 	return m, r.Finish()
 }

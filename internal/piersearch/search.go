@@ -55,6 +55,13 @@ type SearchStats struct {
 	// MaxInFlight is the high-water mark of concurrent DHT operations
 	// during the query; 1 means the plan executed fully sequentially.
 	MaxInFlight int
+	// CacheHits counts plan steps answered from the node's hot-key tier
+	// without network traffic; Coalesced counts steps that shared another
+	// in-flight identical call; FanoutReads counts hot-key reads spread
+	// to a non-primary replica. All zero when no tier is installed.
+	CacheHits   int
+	Coalesced   int
+	FanoutReads int
 }
 
 // Search answers conjunctive keyword queries against the PIERSearch index.

@@ -204,6 +204,9 @@ func (ps *planSource) Stats() SearchStats {
 		PostingShipped: total.PostingShipped,
 		MatchBytes:     plan.TotalStats(ps.compiled.Match).Bytes,
 		MaxInFlight:    total.MaxInFlight,
+		CacheHits:      total.CacheHits,
+		Coalesced:      total.Coalesced,
+		FanoutReads:    total.FanoutReads,
 		Wall:           ps.wall,
 	}
 	if stats.Wall == 0 {

@@ -82,6 +82,15 @@ func formatStats(s OpStats) string {
 	if s.MaxInFlight > 0 {
 		parts = append(parts, fmt.Sprintf("maxInFlight=%d", s.MaxInFlight))
 	}
+	if s.CacheHits > 0 {
+		parts = append(parts, fmt.Sprintf("cacheHits=%d", s.CacheHits))
+	}
+	if s.Coalesced > 0 {
+		parts = append(parts, fmt.Sprintf("coalesced=%d", s.Coalesced))
+	}
+	if s.FanoutReads > 0 {
+		parts = append(parts, fmt.Sprintf("fanout=%d", s.FanoutReads))
+	}
 	return "[" + strings.Join(parts, " ") + "]"
 }
 

@@ -23,6 +23,12 @@ type OpStats struct {
 	// MaxInFlight is the high-water mark of concurrent DHT operations this
 	// operator kept outstanding.
 	MaxInFlight int
+	// CacheHits, Coalesced and FanoutReads mirror pier.OpStats: work the
+	// hot-key tier answered locally, shared with an identical in-flight
+	// call, or spread across replicas. Zero without a tier.
+	CacheHits   int
+	Coalesced   int
+	FanoutReads int
 }
 
 // addLookup folds one DHT operation's traffic into s.
@@ -38,6 +44,9 @@ func (s *OpStats) addEngineOp(o pier.OpStats) {
 	s.Bytes += o.Bytes
 	s.Hops += o.Hops
 	s.PostingShipped += o.PostingShipped
+	s.CacheHits += o.CacheHits
+	s.Coalesced += o.Coalesced
+	s.FanoutReads += o.FanoutReads
 	if o.MaxInFlight > s.MaxInFlight {
 		s.MaxInFlight = o.MaxInFlight
 	}
@@ -53,6 +62,9 @@ func (s *OpStats) Add(o OpStats) {
 	s.Bytes += o.Bytes
 	s.Hops += o.Hops
 	s.PostingShipped += o.PostingShipped
+	s.CacheHits += o.CacheHits
+	s.Coalesced += o.Coalesced
+	s.FanoutReads += o.FanoutReads
 	if o.MaxInFlight > s.MaxInFlight {
 		s.MaxInFlight = o.MaxInFlight
 	}

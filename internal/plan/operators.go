@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 
-	"piersearch/internal/dht"
 	"piersearch/internal/pier"
 )
 
@@ -240,18 +239,20 @@ func (o *DHTFetch) fillBatch() error {
 		return nil
 	}
 	fetched := make([][]pier.Tuple, len(keys))
-	lookups := make([]dht.LookupStats, len(keys))
+	lookups := make([]pier.OpStats, len(keys))
 	inFlight := pier.ForEachCtx(o.ctx, len(keys), workers, func(i int) {
 		// Writes are per-index; the pool's WaitGroup orders them before
 		// the merge below. Fetch errors other than cancellation drop the
-		// key's tuples, matching the best-effort legacy fetch phase.
-		tuples, ls, _ := o.Engine.FetchContext(o.ctx, o.Table, keys[i])
+		// key's tuples, matching the best-effort legacy fetch phase. The
+		// cached variant serves hot keys from the tier and coalesces
+		// identical concurrent fetches; without a tier it is FetchContext.
+		tuples, st, _ := o.Engine.FetchCachedContext(o.ctx, o.Table, keys[i])
 		fetched[i] = tuples
-		lookups[i] = ls
+		lookups[i] = st
 	})
 	var stats OpStats
-	for _, ls := range lookups {
-		stats.addLookup(ls)
+	for _, st := range lookups {
+		stats.addEngineOp(st)
 	}
 	if inFlight > stats.MaxInFlight {
 		stats.MaxInFlight = inFlight

@@ -24,7 +24,17 @@
 //     replays measured publishes and queries at configurable virtual QPS
 //     through the real engine paths, injects an internal/gnutella churn
 //     schedule mid-run, and reports per-phase latency/byte histograms.
+//   - Hot-key phases (hotkey.go): an optional paired experiment after
+//     churn drains — the same Zipf-skewed single-term workload replayed
+//     with every node's internal/hotcache tier removed and then with
+//     fresh tiers, over identical networks. Net's per-destination
+//     counters locate the hottest node in each phase; the report carries
+//     its load under both and their ratio. The tier's singleflight waits
+//     must poll via Clock.Sleep (see scaleTierOptions) — a channel
+//     select would block outside the scheduler and deadlock the clock.
 //   - Report: the schema-versioned, deterministically-ordered JSON the
 //     replay serializes to BENCH_scale.json so the perf trajectory is
-//     diffable PR-over-PR.
+//     diffable PR-over-PR. Schema v2 added per-error-code failure
+//     breakdowns (classifyFailure), per-phase cache counters, and the
+//     hot_key section.
 package scale

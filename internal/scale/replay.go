@@ -2,11 +2,13 @@ package scale
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
 	"piersearch/internal/dht"
 	"piersearch/internal/gnutella"
+	"piersearch/internal/hotcache"
 	"piersearch/internal/metrics"
 	"piersearch/internal/pier"
 	"piersearch/internal/piersearch"
@@ -45,6 +47,10 @@ type Config struct {
 	Latency   simnet.LatencyModel // nil means simnet.DefaultWideArea
 
 	Churn ChurnParams
+
+	// HotKey parameterises the post-churn hot-key phases (baseline vs
+	// cached Zipf replay). HotKey.Queries == 0 disables them.
+	HotKey HotKeyParams
 }
 
 func (c Config) withDefaults() Config {
@@ -72,6 +78,26 @@ func (c Config) withDefaults() Config {
 	c.Trace.Hosts = c.Nodes
 	if c.Trace.Seed == 0 {
 		c.Trace.Seed = c.Seed
+	}
+	if c.HotKey.Queries > 0 {
+		if c.HotKey.QPS <= 0 {
+			c.HotKey.QPS = 200
+		}
+		if c.HotKey.Terms <= 0 {
+			c.HotKey.Terms = 12
+		}
+		if c.HotKey.Origins <= 0 {
+			c.HotKey.Origins = 4
+		}
+		if c.HotKey.Origins > c.StableCore {
+			c.HotKey.Origins = c.StableCore
+		}
+		if c.HotKey.ZipfS <= 0 {
+			c.HotKey.ZipfS = 1.1
+		}
+		if c.HotKey.Warmup <= 0 {
+			c.HotKey.Warmup = c.HotKey.Origins * c.HotKey.Terms
+		}
 	}
 	return c
 }
@@ -161,6 +187,16 @@ func Run(cfg Config) (*Report, error) {
 		Replicate:     replicate,
 	}
 
+	// Every engine runs the hot tier during the main phases, exactly as a
+	// deployed node would; the hot-key phases later swap tiers out and back
+	// in to isolate the tier's effect.
+	tiers := make([]*hotcache.Tier, len(engines))
+	tierOpts := scaleTierOptions(clock)
+	for i, e := range engines {
+		tiers[i] = hotcache.NewTier(tierOpts)
+		e.SetHotTier(tiers[i])
+	}
+
 	// The harness serialises all tasks, but the stats sink takes a lock
 	// anyway so the recording pattern is safe under any scheduler.
 	var mu sync.Mutex
@@ -173,6 +209,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	pubLat := metrics.NewHistogram(1e-3, 1e3, 40)
 	pubFailed := 0
+	pubFails := map[string]int{}
 	msgs0, bytes0 := cl.Net.Messages(), cl.Net.Bytes()
 	err = clock.Run(func() {
 		step := interval(cfg.PublishQPS)
@@ -192,6 +229,7 @@ func Run(cfg Config) (*Report, error) {
 				mu.Lock()
 				if perr != nil {
 					pubFailed++
+					pubFails[classifyFailure(perr)]++
 				} else {
 					pubLat.Observe(elapsed.Seconds())
 				}
@@ -207,6 +245,7 @@ func Run(cfg Config) (*Report, error) {
 	rep.Publish = PhaseStats{
 		Count:     cfg.Publishes,
 		Failed:    pubFailed,
+		Failures:  failureCounts(pubFails),
 		LatencyMs: quantilesMs(pubLat),
 		Messages:  msgs1 - msgs0,
 		Bytes:     bytes1 - bytes0,
@@ -217,6 +256,7 @@ func Run(cfg Config) (*Report, error) {
 	step := interval(cfg.QPS)
 	population := cfg.Nodes - cfg.StableCore
 	var sched gnutella.ChurnSchedule
+	var churnEnd time.Duration
 	if cfg.Churn.MeanSession > 0 && population > 0 {
 		span := step*time.Duration(len(queries)) + 30*time.Second
 		sched = gnutella.GenerateChurn(gnutella.ChurnConfig{
@@ -227,6 +267,7 @@ func Run(cfg Config) (*Report, error) {
 			Seed:         cfg.Seed + 101,
 		})
 		base := clock.Now()
+		churnEnd = base + span
 		for _, ev := range sched.Events {
 			addr := cl.Nodes[cfg.StableCore+ev.Host].Info().Addr
 			up := ev.Up
@@ -252,6 +293,8 @@ func Run(cfg Config) (*Report, error) {
 	qLat := metrics.NewHistogram(1e-3, 1e3, 40)
 	qMatchBytes := metrics.NewHistogram(1, 1e8, 10)
 	qFailed, qMatches, qShipped, qHops := 0, 0, 0, 0
+	qFails := map[string]int{}
+	cache0 := sumTiers(tiers)
 	err = clock.Run(func() {
 		for i := range queries {
 			i := i
@@ -263,6 +306,7 @@ func Run(cfg Config) (*Report, error) {
 				defer mu.Unlock()
 				if qerr != nil {
 					qFailed++
+					qFails[classifyFailure(qerr)]++
 					return
 				}
 				qLat.Observe(elapsed.Seconds())
@@ -278,9 +322,11 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("scale: query phase: %w", err)
 	}
 	msgs2, bytes2 := cl.Net.Messages(), cl.Net.Bytes()
+	qCache := sumTiers(tiers).sub(cache0)
 	rep.Query = QueryStats{
 		Count:          len(queries),
 		Failed:         qFailed,
+		Failures:       failureCounts(qFails),
 		Matches:        qMatches,
 		PostingShipped: qShipped,
 		LatencyMs:      quantilesMs(qLat),
@@ -288,7 +334,46 @@ func Run(cfg Config) (*Report, error) {
 		HopsMean:       round3(mean(qHops, len(queries)-qFailed)),
 		Messages:       msgs2 - msgs1,
 		Bytes:          bytes2 - bytes1,
+		Cache:          &qCache,
 	}
+
+	// ---- Hot-key phases: drain any churn events still queued past the
+	// query phase, restore every node, then replay the Zipf workload twice
+	// (baseline without tiers, then with fresh ones) over identical
+	// networks.
+	if cfg.HotKey.Queries > 0 {
+		if churnEnd > 0 {
+			if err := clock.Run(func() {
+				if d := churnEnd + time.Second - clock.Now(); d > 0 {
+					clock.Sleep(d)
+				}
+			}); err != nil {
+				return nil, fmt.Errorf("scale: churn drain: %w", err)
+			}
+			for i := cfg.StableCore; i < cfg.Nodes; i++ {
+				cl.Net.Reattach(cl.Nodes[i].Info().Addr)
+			}
+		}
+		terms := hotTerms(tr, cfg.HotKey.Terms)
+		if len(terms) > 0 {
+			h := &hotRunner{
+				cfg:      cfg,
+				clock:    clock,
+				cl:       cl,
+				engines:  engines,
+				searches: searches[:cfg.HotKey.Origins],
+				terms:    terms,
+				picks: zipfPicks(rand.New(rand.NewSource(cfg.Seed+202)),
+					cfg.HotKey.Queries, len(terms), cfg.HotKey.ZipfS),
+			}
+			hk, err := runHotKey(h)
+			if err != nil {
+				return nil, fmt.Errorf("scale: hot-key phase: %w", err)
+			}
+			rep.HotKey = hk
+		}
+	}
+
 	rep.VirtualSeconds = round3(clock.Now().Seconds())
 	return rep, nil
 }

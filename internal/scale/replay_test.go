@@ -31,6 +31,7 @@ func acceptanceConfig() scale.Config {
 			MeanSession:  60 * time.Second,
 			MeanDowntime: 30 * time.Second,
 		},
+		HotKey: scale.HotKeyParams{Queries: 200},
 	}
 	if raceEnabled {
 		cfg.Nodes = 1_500
@@ -38,6 +39,7 @@ func acceptanceConfig() scale.Config {
 		cfg.Trace.TargetCopies = 3_000
 		cfg.Trace.Queries = 80
 		cfg.Publishes = 20
+		cfg.HotKey.Queries = 80
 	}
 	return cfg
 }
@@ -108,6 +110,7 @@ func determinismConfig() scale.Config {
 			MeanSession:  30 * time.Second,
 			MeanDowntime: 15 * time.Second,
 		},
+		HotKey: scale.HotKeyParams{Queries: 60},
 	}
 }
 
@@ -126,6 +129,44 @@ func TestReplayDeterministic(t *testing.T) {
 	a, b := run(), run()
 	if !bytes.Equal(a, b) {
 		t.Fatalf("same seed produced different reports:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+}
+
+// TestHotKeyCacheReduction pins the PR's headline win: under the
+// Zipf-skewed hot-key workload, the hot tier must cut the traffic the
+// hottest node absorbs by at least 2x and improve tail latency, without
+// changing any answer.
+func TestHotKeyCacheReduction(t *testing.T) {
+	rep, err := scale.Run(determinismConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hk := rep.HotKey
+	if hk == nil {
+		t.Fatal("report has no hot_key section")
+	}
+	if hk.Baseline.Failed > 0 || hk.Cached.Failed > 0 {
+		t.Fatalf("hot-key phases failed queries: baseline %d, cached %d (%v / %v)",
+			hk.Baseline.Failed, hk.Cached.Failed, hk.Baseline.Failures, hk.Cached.Failures)
+	}
+	if hk.Baseline.Matches != hk.Cached.Matches {
+		t.Fatalf("cached phase changed answers: baseline %d matches, cached %d",
+			hk.Baseline.Matches, hk.Cached.Matches)
+	}
+	if hk.Baseline.HottestNode.Messages == 0 {
+		t.Fatal("baseline hottest node carried no traffic")
+	}
+	if hk.HottestMsgReduction < 2 {
+		t.Fatalf("hottest-node message reduction = %.3fx (baseline %d -> cached %d at %s), want >= 2x",
+			hk.HottestMsgReduction, hk.Baseline.HottestNode.Messages,
+			hk.Cached.HottestNode.Messages, hk.Cached.HottestNode.Addr)
+	}
+	if hk.Cached.LatencyMs.P99 >= hk.Baseline.LatencyMs.P99 {
+		t.Fatalf("cached p99 %.1fms not better than baseline p99 %.1fms",
+			hk.Cached.LatencyMs.P99, hk.Baseline.LatencyMs.P99)
+	}
+	if hk.Cached.Cache == nil || hk.Cached.Cache.Hits == 0 {
+		t.Fatalf("cached phase recorded no cache hits: %+v", hk.Cached.Cache)
 	}
 }
 

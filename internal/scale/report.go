@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"os"
+	"sort"
 
 	"piersearch/internal/metrics"
 	"piersearch/internal/trace"
@@ -12,7 +13,11 @@ import (
 // ReportSchema is the version tag of the BENCH_scale.json layout. Bump it
 // whenever a field is added, removed, or changes meaning; CI fails on
 // drift so the committed trajectory stays diffable.
-const ReportSchema = "piersearch/bench-scale/v1"
+//
+// v2 added per-error-code failure breakdowns to the publish and query
+// phases, hot-key-tier cache counters, and the hot-key phases (baseline
+// vs cached Zipf replay with hottest-node traffic).
+const ReportSchema = "piersearch/bench-scale/v2"
 
 // Report is the replay's serializable result. Everything in it derives
 // from virtual-time execution of a seeded config, so the same Config
@@ -20,13 +25,14 @@ const ReportSchema = "piersearch/bench-scale/v1"
 // floats are rounded to fixed precision, and no wall-clock quantity is
 // recorded.
 type Report struct {
-	Schema         string      `json:"schema"`
-	Config         ConfigStats `json:"config"`
-	Load           LoadStats   `json:"load"`
-	Publish        PhaseStats  `json:"publish"`
-	Query          QueryStats  `json:"query"`
-	Churn          ChurnStats  `json:"churn"`
-	VirtualSeconds float64     `json:"virtual_seconds"`
+	Schema         string       `json:"schema"`
+	Config         ConfigStats  `json:"config"`
+	Load           LoadStats    `json:"load"`
+	Publish        PhaseStats   `json:"publish"`
+	Query          QueryStats   `json:"query"`
+	Churn          ChurnStats   `json:"churn"`
+	HotKey         *HotKeyStats `json:"hot_key,omitempty"`
+	VirtualSeconds float64      `json:"virtual_seconds"`
 }
 
 // ConfigStats echoes the replay parameters that shaped the run.
@@ -44,6 +50,12 @@ type ConfigStats struct {
 	Strategy      string  `json:"strategy"`
 	ChurnSessionS float64 `json:"churn_mean_session_s"`
 	ChurnDownS    float64 `json:"churn_mean_downtime_s"`
+	HotQueries    int     `json:"hot_queries"`
+	HotWarmup     int     `json:"hot_warmup"`
+	HotQPS        float64 `json:"hot_qps"`
+	HotTerms      int     `json:"hot_terms"`
+	HotOrigins    int     `json:"hot_origins"`
+	HotZipfS      float64 `json:"hot_zipf_s"`
 }
 
 // LoadStats describes the directly placed corpus.
@@ -63,26 +75,91 @@ type Quantiles struct {
 	Max  float64 `json:"max"`
 }
 
+// FailureCount is one error class and how many operations it killed,
+// classified by classifyFailure. The slice form (sorted by code) keeps
+// the report map-free and so byte-stable.
+type FailureCount struct {
+	Code  string `json:"code"`
+	Count int    `json:"count"`
+}
+
 // PhaseStats summarises the measured publish phase.
 type PhaseStats struct {
-	Count     int       `json:"count"`
-	Failed    int       `json:"failed"`
-	LatencyMs Quantiles `json:"latency_ms"`
-	Messages  uint64    `json:"messages"`
-	Bytes     uint64    `json:"bytes"`
+	Count     int            `json:"count"`
+	Failed    int            `json:"failed"`
+	Failures  []FailureCount `json:"failures,omitempty"`
+	LatencyMs Quantiles      `json:"latency_ms"`
+	Messages  uint64         `json:"messages"`
+	Bytes     uint64         `json:"bytes"`
 }
 
 // QueryStats summarises the replayed query phase.
 type QueryStats struct {
-	Count          int       `json:"count"`
-	Failed         int       `json:"failed"`
-	Matches        int       `json:"matches"`
-	PostingShipped int       `json:"posting_shipped"`
-	LatencyMs      Quantiles `json:"latency_ms"`
-	MatchBytes     Quantiles `json:"match_bytes"`
-	HopsMean       float64   `json:"hops_mean"`
-	Messages       uint64    `json:"messages"`
-	Bytes          uint64    `json:"bytes"`
+	Count          int            `json:"count"`
+	Failed         int            `json:"failed"`
+	Failures       []FailureCount `json:"failures,omitempty"`
+	Matches        int            `json:"matches"`
+	PostingShipped int            `json:"posting_shipped"`
+	LatencyMs      Quantiles      `json:"latency_ms"`
+	MatchBytes     Quantiles      `json:"match_bytes"`
+	HopsMean       float64        `json:"hops_mean"`
+	Messages       uint64         `json:"messages"`
+	Bytes          uint64         `json:"bytes"`
+	Cache          *CacheStats    `json:"cache,omitempty"`
+}
+
+// CacheStats aggregates hot-tier counters across every node's tier for
+// one phase (deltas for the main query phase, absolutes for the hot-key
+// cached phase, whose tiers are fresh).
+type CacheStats struct {
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+	Expirations   int64 `json:"expirations"`
+	Invalidations int64 `json:"invalidations"`
+	Coalesced     int64 `json:"coalesced"`
+	FanoutReads   int64 `json:"fanout_reads"`
+}
+
+// HotNodeStats is the traffic the single most-loaded node absorbed
+// during one hot-key phase — the survival quantity the tier exists to
+// shrink.
+type HotNodeStats struct {
+	Addr     string `json:"addr"`
+	Messages uint64 `json:"messages"`
+	Bytes    uint64 `json:"bytes"`
+}
+
+// HotPhaseStats summarises one hot-key replay (baseline or cached).
+// Warmup queries run before measurement in both phases — identical
+// sequences — so the cached phase is measured warm and the baseline
+// phase pays the same extra load.
+type HotPhaseStats struct {
+	Queries     int            `json:"queries"`
+	Warmup      int            `json:"warmup"`
+	Failed      int            `json:"failed"`
+	Failures    []FailureCount `json:"failures,omitempty"`
+	Matches     int            `json:"matches"`
+	LatencyMs   Quantiles      `json:"latency_ms"`
+	Messages    uint64         `json:"messages"`
+	Bytes       uint64         `json:"bytes"`
+	HottestNode HotNodeStats   `json:"hottest_node"`
+	Cache       *CacheStats    `json:"cache,omitempty"`
+}
+
+// HotKeyStats is the paired hot-key experiment: the same Zipf-skewed
+// single-term workload replayed with the tier disabled and then with
+// fresh tiers, plus the headline ratio CI asserts on.
+type HotKeyStats struct {
+	Terms    int           `json:"terms"`
+	Origins  int           `json:"origins"`
+	ZipfS    float64       `json:"zipf_s"`
+	Baseline HotPhaseStats `json:"baseline"`
+	Cached   HotPhaseStats `json:"cached"`
+	// HottestMsgReduction = baseline hottest-node messages / cached
+	// hottest-node messages (0 when the cached phase's hottest node
+	// carried no traffic at all).
+	HottestMsgReduction float64 `json:"hottest_msg_reduction"`
 }
 
 // ChurnStats describes the injected churn schedule.
@@ -109,8 +186,32 @@ func newReport(cfg Config, tr *trace.Trace) *Report {
 			Strategy:      cfg.Strategy.String(),
 			ChurnSessionS: cfg.Churn.MeanSession.Seconds(),
 			ChurnDownS:    cfg.Churn.MeanDowntime.Seconds(),
+			HotQueries:    cfg.HotKey.Queries,
+			HotWarmup:     cfg.HotKey.Warmup,
+			HotQPS:        cfg.HotKey.QPS,
+			HotTerms:      cfg.HotKey.Terms,
+			HotOrigins:    cfg.HotKey.Origins,
+			HotZipfS:      cfg.HotKey.ZipfS,
 		},
 	}
+}
+
+// failureCounts renders a failure-class histogram as a code-sorted slice
+// (nil when nothing failed, keeping the JSON field omitted).
+func failureCounts(m map[string]int) []FailureCount {
+	if len(m) == 0 {
+		return nil
+	}
+	codes := make([]string, 0, len(m))
+	for c := range m {
+		codes = append(codes, c)
+	}
+	sort.Strings(codes)
+	out := make([]FailureCount, len(codes))
+	for i, c := range codes {
+		out[i] = FailureCount{Code: c, Count: m[c]}
+	}
+	return out
 }
 
 // round3 rounds to three decimals so float noise cannot leak formatting

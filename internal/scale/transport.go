@@ -33,6 +33,13 @@ type Net struct {
 
 	messages uint64
 	bytes    uint64
+
+	// Per-destination totals, attributed to the callee: both legs of an
+	// RPC count against the node that served (or failed to serve) it.
+	// This is the load profile the hot-key phases compare — "how much
+	// traffic did the hottest node absorb".
+	perMsgs  map[string]uint64
+	perBytes map[string]uint64
 }
 
 // NewNet creates a transport on clock. latency nil means
@@ -42,11 +49,13 @@ func NewNet(clock *Clock, latency simnet.LatencyModel, seed int64) *Net {
 		latency = simnet.DefaultWideArea()
 	}
 	return &Net{
-		clock:   clock,
-		latency: latency,
-		rng:     rand.New(rand.NewSource(seed)),
-		nodes:   make(map[string]*dht.Node),
-		down:    make(map[string]bool),
+		clock:    clock,
+		latency:  latency,
+		rng:      rand.New(rand.NewSource(seed)),
+		nodes:    make(map[string]*dht.Node),
+		down:     make(map[string]bool),
+		perMsgs:  make(map[string]uint64),
+		perBytes: make(map[string]uint64),
 	}
 }
 
@@ -104,6 +113,22 @@ func (vn *Net) Bytes() uint64 {
 	return vn.bytes
 }
 
+// PerNode returns copies of the per-destination message and byte totals.
+// Subtract two snapshots to get one phase's per-node load.
+func (vn *Net) PerNode() (msgs, bytes map[string]uint64) {
+	vn.mu.Lock()
+	defer vn.mu.Unlock()
+	msgs = make(map[string]uint64, len(vn.perMsgs))
+	for a, v := range vn.perMsgs {
+		msgs[a] = v
+	}
+	bytes = make(map[string]uint64, len(vn.perBytes))
+	for a, v := range vn.perBytes {
+		bytes[a] = v
+	}
+	return msgs, bytes
+}
+
 // Call implements dht.Transport.
 func (vn *Net) Call(to dht.NodeInfo, req *dht.Request) (*dht.Response, error) {
 	return vn.CallContext(context.Background(), to, req)
@@ -123,6 +148,8 @@ func (vn *Net) CallContext(ctx context.Context, to dht.NodeInfo, req *dht.Reques
 	back := vn.latency.Delay(vn.rng)
 	vn.messages += 2
 	vn.bytes += uint64(req.WireSize())
+	vn.perMsgs[to.Addr] += 2
+	vn.perBytes[to.Addr] += uint64(req.WireSize())
 	vn.mu.Unlock()
 
 	vn.clock.Sleep(there)
@@ -143,6 +170,7 @@ func (vn *Net) CallContext(ctx context.Context, to dht.NodeInfo, req *dht.Reques
 
 	vn.mu.Lock()
 	vn.bytes += uint64(resp.WireSize())
+	vn.perBytes[to.Addr] += uint64(resp.WireSize())
 	vn.mu.Unlock()
 	return resp, nil
 }

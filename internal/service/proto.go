@@ -11,7 +11,11 @@ import (
 
 // Version is the protocol version this build speaks. Requests carrying
 // another version are refused with CodeVersion.
-const Version = 1
+//
+// Version 2 added the hot-key tier counters (CacheHits, Coalesced,
+// FanoutReads) to the Done stats and the RetryAfterMs backoff hint to
+// MsgError frames.
+const Version = 2
 
 // Message kinds: the first byte of every stream payload.
 const (
@@ -76,10 +80,20 @@ func (c Code) String() string {
 type Error struct {
 	Code Code
 	Msg  string
+	// RetryAfterMs is the daemon's backoff hint in milliseconds: with
+	// CodeOverloaded it tells the client how long to wait before the next
+	// attempt can be admitted. Zero means no hint.
+	RetryAfterMs int
 }
 
 // Error implements error.
 func (e *Error) Error() string { return fmt.Sprintf("service: %s: %s", e.Code, e.Msg) }
+
+// RetryAfter returns the daemon's backoff hint as a duration, zero when
+// none was given.
+func (e *Error) RetryAfter() time.Duration {
+	return time.Duration(e.RetryAfterMs) * time.Millisecond
+}
 
 // Is matches two protocol errors by code, so
 // errors.Is(err, &service.Error{Code: CodeOverloaded}) works.
@@ -167,7 +181,7 @@ func EncodeBatch(results []piersearch.Result) []byte {
 
 func appendSearchStats(dst []byte, s piersearch.SearchStats) []byte {
 	dst = append(dst, byte(s.Strategy))
-	for _, v := range []int{s.Keywords, s.Matches, s.Messages, s.Bytes, s.Hops, s.PostingShipped, s.MatchBytes, s.MaxInFlight} {
+	for _, v := range []int{s.Keywords, s.Matches, s.Messages, s.Bytes, s.Hops, s.PostingShipped, s.MatchBytes, s.MaxInFlight, s.CacheHits, s.Coalesced, s.FanoutReads} {
 		dst = codec.AppendVarint(dst, int64(v))
 	}
 	return codec.AppendVarint(dst, int64(s.Wall))
@@ -176,7 +190,7 @@ func appendSearchStats(dst []byte, s piersearch.SearchStats) []byte {
 func readSearchStats(r *codec.Reader) piersearch.SearchStats {
 	var s piersearch.SearchStats
 	s.Strategy = piersearch.Strategy(r.Byte())
-	for _, p := range []*int{&s.Keywords, &s.Matches, &s.Messages, &s.Bytes, &s.Hops, &s.PostingShipped, &s.MatchBytes, &s.MaxInFlight} {
+	for _, p := range []*int{&s.Keywords, &s.Matches, &s.Messages, &s.Bytes, &s.Hops, &s.PostingShipped, &s.MatchBytes, &s.MaxInFlight, &s.CacheHits, &s.Coalesced, &s.FanoutReads} {
 		*p = int(r.Varint())
 	}
 	s.Wall = time.Duration(r.Varint())
@@ -192,7 +206,8 @@ func EncodeDone(d Done) []byte {
 // EncodeError frames a typed error.
 func EncodeError(e *Error) []byte {
 	dst := codec.AppendUvarint([]byte{MsgError}, uint64(e.Code))
-	return codec.AppendString(dst, e.Msg)
+	dst = codec.AppendString(dst, e.Msg)
+	return codec.AppendUvarint(dst, uint64(e.RetryAfterMs))
 }
 
 // EncodeExplainResult frames an explain answer.
@@ -283,6 +298,7 @@ func Decode(payload []byte) (any, error) {
 	case MsgError:
 		e := &Error{Code: Code(r.Uvarint())}
 		e.Msg = r.String()
+		e.RetryAfterMs = int(r.Uvarint())
 		if err := r.Finish(); err != nil {
 			return nil, err
 		}

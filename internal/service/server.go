@@ -25,6 +25,17 @@ type Options struct {
 	// query is flushed alone regardless, so time-to-first-result does not
 	// wait for a batch to fill. 0 means 16.
 	BatchSize int
+	// PerClientQPS bounds the sustained rate of query and publish requests
+	// one client connection may issue, as a token bucket refilled at this
+	// many tokens per second. Requests beyond the bucket are refused with
+	// CodeOverloaded and a retry-after hint, so one hot client sheds its
+	// own excess instead of starving the shared MaxQueries admission pool.
+	// 0 disables per-client limiting.
+	PerClientQPS int
+	// PerClientBurst is the token bucket's capacity — how many requests a
+	// client may issue back-to-back before the rate bound bites. 0 means
+	// PerClientQPS.
+	PerClientBurst int
 	// Logf, if set, receives one line per refused or failed query.
 	Logf func(format string, args ...any)
 }
@@ -52,6 +63,63 @@ func (o Options) logf(format string, args ...any) {
 	if o.Logf != nil {
 		o.Logf(format, args...)
 	}
+}
+
+// tokenBucket is the per-connection admission bucket behind PerClientQPS.
+// A nil bucket admits everything.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(qps, burst int) *tokenBucket {
+	if qps <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = qps
+	}
+	return &tokenBucket{
+		rate:   float64(qps),
+		burst:  float64(burst),
+		tokens: float64(burst),
+		last:   time.Now(),
+	}
+}
+
+// take consumes one token if available; otherwise it reports how long
+// until the next token accrues, the client's retry-after hint.
+func (b *tokenBucket) take() (ok bool, retryAfter time.Duration) {
+	if b == nil {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	b.last = now
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+	return false, wait
+}
+
+// retryAfterMs rounds a bucket wait up to whole milliseconds, never
+// reporting zero for an actual refusal (a zero hint reads as "no hint").
+func retryAfterMs(d time.Duration) int {
+	ms := int((d + time.Millisecond - 1) / time.Millisecond)
+	if ms < 1 {
+		ms = 1
+	}
+	return ms
 }
 
 // Server is a query-service daemon: it accepts mux sessions on a
@@ -110,6 +178,7 @@ func (s *Server) Serve() error {
 			conn.Close()
 			return nil
 		}
+		bucket := newTokenBucket(s.opts.PerClientQPS, s.opts.PerClientBurst)
 		m := wire.NewServerMux(conn, func(st *wire.Stream, opening []byte) {
 			// The Add is ordered against Close's Wait by s.mu: either this
 			// handler registers before Close flips the flag, or it observes
@@ -123,7 +192,7 @@ func (s *Server) Serve() error {
 			s.wg.Add(1)
 			s.mu.Unlock()
 			defer s.wg.Done()
-			s.handleStream(st, opening)
+			s.handleStream(st, opening, bucket)
 		})
 		s.muxes[m] = true
 		// Ordered against Close's Wait while still under s.mu, like the
@@ -167,8 +236,9 @@ func (s *Server) sendError(st *wire.Stream, e *Error) {
 	st.Close()
 }
 
-// handleStream answers one request stream.
-func (s *Server) handleStream(st *wire.Stream, opening []byte) {
+// handleStream answers one request stream. bucket is the per-connection
+// admission bucket (nil = unlimited).
+func (s *Server) handleStream(st *wire.Stream, opening []byte, bucket *tokenBucket) {
 	// The version byte sits right after the kind byte in every request
 	// message — an offset that is invariant across protocol versions — so
 	// it is checked before the strict body decode. A future version whose
@@ -189,6 +259,19 @@ func (s *Server) handleStream(st *wire.Stream, opening []byte) {
 		s.opts.logf("service: bad request: %v", err)
 		s.sendError(st, &Error{Code: CodeBadRequest, Msg: err.Error()})
 		return
+	}
+	// Per-client admission sits before the global query semaphore: a
+	// client hammering past its rate is refused with its own retry-after
+	// hint and never competes for the shared MaxQueries pool. Explain and
+	// cancel are exempt — they cost no DHT traffic.
+	switch msg.(type) {
+	case *OpenQuery, *PublishReq:
+		if ok, wait := bucket.take(); !ok {
+			s.opts.logf("service: request refused: client over %d req/s", s.opts.PerClientQPS)
+			s.sendError(st, &Error{Code: CodeOverloaded, RetryAfterMs: retryAfterMs(wait),
+				Msg: fmt.Sprintf("client exceeds %d requests/s; retry after %dms", s.opts.PerClientQPS, retryAfterMs(wait))})
+			return
+		}
 	}
 	switch m := msg.(type) {
 	case *OpenQuery:

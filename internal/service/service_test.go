@@ -391,9 +391,9 @@ func TestVersionRefused(t *testing.T) {
 		t.Fatalf("version-99 answer = %#v, want CodeVersion error", msg)
 	}
 
-	// A future version whose body layout v1 cannot even parse must still
+	// A future version whose body layout v2 cannot even parse must still
 	// get CodeVersion — the version byte's offset is the invariant.
-	future := append(service.EncodeOpenQuery(service.OpenQuery{Version: 2, Text: "x"}), 0xAA, 0xBB)
+	future := append(service.EncodeOpenQuery(service.OpenQuery{Version: 3, Text: "x"}), 0xAA, 0xBB)
 	st2, err := m.Open(future, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -410,6 +410,52 @@ func TestVersionRefused(t *testing.T) {
 	se2, ok := msg2.(*service.Error)
 	if !ok || se2.Code != service.CodeVersion {
 		t.Fatalf("future-layout answer = %#v, want CodeVersion error", msg2)
+	}
+}
+
+// TestPerClientRateLimit: a client past its token bucket is refused with
+// CodeOverloaded and a positive retry-after hint, and is admitted again
+// once the bucket refills.
+func TestPerClientRateLimit(t *testing.T) {
+	e := newEnv(t, 4, 4, service.Options{PerClientQPS: 5, PerClientBurst: 2})
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+	ctx := context.Background()
+
+	q := piersearch.Query{Text: "common stream", Strategy: piersearch.StrategyCache}
+	// The burst admits two back-to-back queries.
+	for i := 0; i < 2; i++ {
+		if _, err := drainErr(client.Query(ctx, q)); err != nil {
+			t.Fatalf("burst query %d: %v", i, err)
+		}
+	}
+	// The third, issued immediately, must be shed with a backoff hint.
+	var se *service.Error
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := drainErr(client.Query(ctx, q))
+		if errors.As(err, &se) && se.Code == service.CodeOverloaded {
+			break
+		}
+		if err != nil {
+			t.Fatalf("rate-limited query: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("client was never rate-limited")
+		}
+	}
+	if se.RetryAfter() <= 0 {
+		t.Errorf("overloaded error carries no retry-after hint: %+v", se)
+	}
+
+	// Waiting out the hint (bounded) refills the bucket.
+	wait := se.RetryAfter()
+	if wait > time.Second {
+		wait = time.Second
+	}
+	time.Sleep(wait + 50*time.Millisecond)
+	if _, err := drainErr(client.Query(ctx, q)); err != nil {
+		t.Fatalf("post-refill query: %v", err)
 	}
 }
 
