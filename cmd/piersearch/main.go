@@ -13,6 +13,15 @@
 //	piersearch -listen 127.0.0.1:4001 -join 127.0.0.1:4000 \
 //	    -publish "Madonna - Like a Prayer.mp3" -publish "Rare Demo Tape.mp3"
 //
+// -bootstrap joins through several seeds at once (any reachable one
+// suffices) and is the preferred form for long-running daemons; the
+// iterative self-lookup it performs fills the routing table beyond the
+// seeds themselves. A running daemon dumps its routing table and
+// maintenance counters to the log on SIGUSR1:
+//
+//	piersearch -listen 127.0.0.1:4002 -bootstrap 127.0.0.1:4000,127.0.0.1:4001 -daemon
+//	kill -USR1 $(pidof piersearch)
+//
 // Client mode (-connect) is the other half of the split: a thin process
 // that never joins the DHT. It submits queries and publishes to a daemon
 // over the streaming protocol; results print as the daemon's plan
@@ -65,6 +74,7 @@ func main() {
 func run() int {
 	listen := flag.String("listen", "127.0.0.1:0", "TCP listen address for the DHT node (daemon mode)")
 	join := flag.String("join", "", "address of an existing node to bootstrap from")
+	bootstrap := flag.String("bootstrap", "", "comma-separated addresses of existing nodes to join through (multi-seed bootstrap)")
 	serve := flag.String("serve", "", "TCP listen address for the query service (empty = not served)")
 	connect := flag.String("connect", "", "query-service daemon to talk to (client mode: no DHT node is started)")
 	search := flag.String("search", "", "run one keyword query and exit")
@@ -103,7 +113,7 @@ func run() int {
 		return runClient(ctx, *connect, *search, strat, *limit, *explain, publishes, *stdinPublish)
 	}
 	return runDaemon(ctx, daemonConfig{
-		listen: *listen, join: *join, serve: *serve, search: *search,
+		listen: *listen, join: *join, bootstrap: *bootstrap, serve: *serve, search: *search,
 		strat: strat, limit: *limit, explain: *explain, maxQueries: *maxQueries,
 		daemon: *daemon, stdinPublish: *stdinPublish, storeKind: *storeKind,
 		dataDir: *dataDir, syncWrites: *syncWrites, publishes: publishes,
@@ -195,7 +205,8 @@ func printResults(rs *piersearch.ResultStream, query string, strat piersearch.St
 // --- daemon mode -------------------------------------------------------------
 
 type daemonConfig struct {
-	listen, join, serve, search   string
+	listen, join, bootstrap       string
+	serve, search                 string
 	strat                         piersearch.Strategy
 	limit, maxQueries             int
 	explain, daemon, stdinPublish bool
@@ -238,9 +249,11 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 	srv := wire.NewServer(node, ln)
 	go srv.Serve()                                //nolint:errcheck // closed below
 	stopJanitor := node.StartJanitor(time.Minute) // reclaim TTL'd postings while serving
+	stopMaint := node.StartMaintenance()          // bucket refresh + provider republish
 	defer func() {
 		// Shutdown order: stop serving and calling first, then close the
 		// store so nothing writes to it afterwards.
+		stopMaint()
 		stopJanitor()
 		srv.Close()       //nolint:errcheck // shutting down
 		transport.Close() //nolint:errcheck // shutting down
@@ -252,6 +265,17 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 		}
 	}()
 	log.Printf("node %s listening on %s (%s store)", node.Info().ID.Short(), srv.Addr(), dc.storeKind)
+
+	// SIGUSR1 dumps the routing table and maintenance counters without
+	// disturbing the node: bucket fill, evictions, refreshes, republishes.
+	usr1 := make(chan os.Signal, 1)
+	signal.Notify(usr1, syscall.SIGUSR1)
+	defer signal.Stop(usr1)
+	go func() {
+		for range usr1 {
+			log.Printf("routing stats:\n%s", node.RoutingStats().Format())
+		}
+	}()
 
 	engine := pier.NewEngine(node, pier.Config{OrderBySelectivity: true})
 	piersearch.RegisterSchemas(engine)
@@ -284,20 +308,25 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 		log.Printf("query service on %s (max %d concurrent queries)", svc.Addr(), dc.maxQueries)
 	}
 
+	// -join and -bootstrap both feed JoinNetwork, which pings each seed
+	// (learning its ID from the reply) and then runs an iterative
+	// self-lookup to fill the buckets nearest this node. Seeds are given by
+	// address alone; any reachable one suffices.
+	var seeds []dht.NodeInfo
 	if dc.join != "" {
-		// The seed's ID is learned from its ping response; bootstrap only
-		// needs its address.
-		seed := dht.NodeInfo{Addr: dc.join}
-		resp, err := transport.Call(seed, &dht.Request{Kind: dht.RPCPing, From: node.Info()})
-		if err != nil {
-			log.Printf("join %s: %v", dc.join, err)
+		seeds = append(seeds, dht.NodeInfo{Addr: dc.join})
+	}
+	for _, a := range strings.Split(dc.bootstrap, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			seeds = append(seeds, dht.NodeInfo{Addr: a})
+		}
+	}
+	if len(seeds) > 0 {
+		if err := node.JoinNetwork(seeds); err != nil {
+			log.Printf("join: %v", err)
 			return 1
 		}
-		if err := node.Bootstrap(resp.From); err != nil {
-			log.Printf("bootstrap: %v", err)
-			return 1
-		}
-		log.Printf("joined network via %s (%d contacts)", dc.join, node.TableLen())
+		log.Printf("joined network via %d seed(s) (%d contacts)", len(seeds), node.TableLen())
 	}
 
 	publishOne := func(name string) {
@@ -330,6 +359,7 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 				return 1
 			}
 			fmt.Printf("plan for %q:\n%s\n", dc.search, text)
+			fmt.Printf("routing:\n%s\n", node.RoutingStats().Format())
 		}
 		// A signal cancels the in-flight wide-area query; results stream
 		// as they arrive instead of materializing at the end. This is the

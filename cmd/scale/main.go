@@ -48,6 +48,12 @@ func main() {
 		hotTerms   = flag.Int("hot-terms", 12, "hot-key phase: hot vocabulary size")
 		hotOrigins = flag.Int("hot-origins", 4, "hot-key phase: query origin count")
 		hotZipf    = flag.Float64("hot-zipf", 1.1, "hot-key phase: Zipf exponent over the hot terms")
+
+		routingLookups = flag.Int("routing-lookups", 200, "routing phase: measured iterative FindNode lookups (0 disables)")
+		survivalKeys   = flag.Int("survival-keys", 400, "survival phase: sampled keys queried after churn (0 disables)")
+		survivalRemove = flag.Float64("survival-remove", 0.3, "survival phase: fraction of non-core nodes removed")
+		refresh        = flag.Duration("refresh", 0, "bucket refresh interval (0 = dht default)")
+		republish      = flag.Duration("republish", 0, "provider republish interval (0 = harness default)")
 	)
 	flag.Parse()
 
@@ -75,6 +81,13 @@ func main() {
 			Origins: *hotOrigins,
 			ZipfS:   *hotZipf,
 		},
+		RoutingLookups: *routingLookups,
+		Survival: scale.SurvivalParams{
+			Keys:       *survivalKeys,
+			RemoveFrac: *survivalRemove,
+			Refresh:    *refresh,
+			Republish:  *republish,
+		},
 	}
 
 	start := time.Now()
@@ -88,6 +101,14 @@ func main() {
 		log.Printf("hot-key: hottest node %d -> %d msgs (%.1fx), p99 %.0fms -> %.0fms",
 			hk.Baseline.HottestNode.Messages, hk.Cached.HottestNode.Messages,
 			hk.HottestMsgReduction, hk.Baseline.LatencyMs.P99, hk.Cached.LatencyMs.P99)
+	}
+	if rt := rep.Routing; rt != nil {
+		log.Printf("routing: %d lookups (%d failed), hops mean %.2f p99 %.0f, max table %d contacts",
+			rt.Lookups, rt.Failed, rt.Hops.Mean, rt.Hops.P99, rt.MaxTableContacts)
+	}
+	if sv := rep.Survival; sv != nil {
+		log.Printf("survival: %d/%d keys after removing %d nodes (rate %.3f), %d values republished",
+			sv.Succeeded, sv.Keys, sv.RemovedNodes, sv.Rate, sv.RepublishedValues)
 	}
 
 	if *out == "-" {

@@ -53,6 +53,10 @@ func RunConformance(t *testing.T, mk func(t *testing.T) *Harness) {
 	t.Run("DetachedNodeFails", func(t *testing.T) { testDetachedNodeFails(t, mk(t)) })
 	t.Run("CanceledContext", func(t *testing.T) { testCanceledContext(t, mk(t)) })
 	t.Run("ConcurrentCallers", func(t *testing.T) { testConcurrentCallers(t, mk(t)) })
+	t.Run("Join", func(t *testing.T) { testJoin(t, mk(t)) })
+	t.Run("IterativeLookup", func(t *testing.T) { testIterativeLookup(t, mk(t)) })
+	t.Run("EvictionOnFailure", func(t *testing.T) { testEvictionOnFailure(t, mk(t)) })
+	t.Run("DetachedPeerDuringLookup", func(t *testing.T) { testDetachedPeerDuringLookup(t, mk(t)) })
 }
 
 func appReq(from *dht.Node, app string, data []byte) *dht.Request {
@@ -202,5 +206,130 @@ func testConcurrentCallers(t *testing.T, h *Harness) {
 	defer mu.Unlock()
 	if total != callers*calls {
 		t.Fatalf("handler saw %d calls, want %d", total, callers*calls)
+	}
+}
+
+// buildNetwork joins count-1 nodes through the first and returns all of
+// them. Joins run inside h.Run because they issue RPCs.
+func buildNetwork(t *testing.T, h *Harness, count int) []*dht.Node {
+	t.Helper()
+	nodes := make([]*dht.Node, count)
+	for i := range nodes {
+		nodes[i] = h.NewNode()
+	}
+	seed := nodes[0].Info()
+	h.Run(func() {
+		for _, n := range nodes[1:] {
+			if err := n.JoinNetwork([]dht.NodeInfo{seed}); err != nil {
+				t.Errorf("join %s: %v", n.Info().ID.Short(), err)
+				return
+			}
+		}
+	})
+	return nodes
+}
+
+// testJoin checks the join protocol over the transport: seeds are given by
+// address alone (the ping reply supplies the ID), concurrent joiners all
+// succeed, and afterwards both sides know each other — joiners via the
+// self-lookup, the seed by observing the inbound RPCs.
+func testJoin(t *testing.T, h *Harness) {
+	seed := h.NewNode()
+	joiners := make([]*dht.Node, 4)
+	fns := make([]func(), len(joiners))
+	for i := range joiners {
+		joiners[i] = h.NewNode()
+		n := joiners[i]
+		fns[i] = func() {
+			if err := n.JoinNetwork([]dht.NodeInfo{{Addr: seed.Info().Addr}}); err != nil {
+				t.Errorf("join: %v", err)
+			}
+		}
+	}
+	h.Run(fns...)
+	for _, n := range joiners {
+		if n.TableLen() == 0 {
+			t.Errorf("joiner %s has an empty routing table after join", n.Info().ID.Short())
+		}
+	}
+	if got := seed.TableLen(); got < len(joiners) {
+		t.Errorf("seed knows %d contacts, want at least %d (one per joiner)", got, len(joiners))
+	}
+}
+
+// testIterativeLookup checks that an iterative FindNode for a live node's
+// own ID converges on that node: it is at XOR distance zero from the
+// target, so a correct lookup must rank it first.
+func testIterativeLookup(t *testing.T, h *Harness) {
+	nodes := buildNetwork(t, h, 10)
+	origin, target := nodes[1], nodes[len(nodes)-1].Info()
+	var got []dht.NodeInfo
+	var stats dht.LookupStats
+	var err error
+	h.Run(func() {
+		got, stats, err = origin.Lookup(target.ID)
+	})
+	if err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if len(got) == 0 {
+		t.Fatal("lookup returned no contacts")
+	}
+	if got[0].ID != target.ID {
+		t.Fatalf("lookup of %s ranked %s first; the target itself is distance zero",
+			target.ID.Short(), got[0].ID.Short())
+	}
+	if stats.Hops < 1 || stats.Messages < 1 {
+		t.Fatalf("lookup stats %+v claim no work was done", stats)
+	}
+}
+
+// testEvictionOnFailure checks Kademlia's liveness rule end to end: a
+// contact that stops answering is evicted from the routing table when an
+// RPC to it fails.
+func testEvictionOnFailure(t *testing.T, h *Harness) {
+	a, b := h.NewNode(), h.NewNode()
+	if !a.SeedContact(b.Info()) {
+		t.Fatal("seeding b into a's table failed")
+	}
+	h.Detach(b.Info().Addr)
+	h.Run(func() {
+		// The lookup probes b, the only contact; the failed RPC must evict it.
+		a.Lookup(b.Info().ID) //nolint:errcheck // probing a dead peer may error
+	})
+	if got := a.TableLen(); got != 0 {
+		t.Fatalf("table still holds %d contacts after its only peer died", got)
+	}
+	if ev := a.RoutingStats().Table.Counters.Evictions; ev == 0 {
+		t.Fatal("eviction counter did not move")
+	}
+}
+
+// testDetachedPeerDuringLookup checks that a lookup routes around peers
+// that departed abruptly: it still converges on the live target and the
+// dead peers are absent from the result.
+func testDetachedPeerDuringLookup(t *testing.T, h *Harness) {
+	nodes := buildNetwork(t, h, 8)
+	dead := map[dht.ID]bool{}
+	for _, n := range nodes[2:4] {
+		h.Detach(n.Info().Addr)
+		dead[n.Info().ID] = true
+	}
+	origin, target := nodes[1], nodes[len(nodes)-1].Info()
+	var got []dht.NodeInfo
+	var err error
+	h.Run(func() {
+		got, _, err = origin.Lookup(target.ID)
+	})
+	if err != nil {
+		t.Fatalf("lookup with detached peers: %v", err)
+	}
+	if len(got) == 0 || got[0].ID != target.ID {
+		t.Fatalf("lookup did not converge on the live target; got %d contacts", len(got))
+	}
+	for _, c := range got {
+		if dead[c.ID] {
+			t.Errorf("detached peer %s appears in the lookup result", c.ID.Short())
+		}
 	}
 }

@@ -1,6 +1,8 @@
 // Package dht implements a Kademlia-style distributed hash table: 160-bit
-// node and key identifiers under the XOR metric, k-bucket routing tables,
-// iterative lookups with O(log N) hops, and a replicated multi-value store.
+// node and key identifiers under the XOR metric, k-bucket routing tables
+// with replacement caches and staleness-driven refresh, α-parallel
+// iterative lookups with O(log N) hops, and a replicated multi-value store
+// with provider-record republish so data survives churn.
 //
 // The paper's PIERSearch runs on the Bamboo DHT; this package provides the
 // same contract PIER depends on — put()/get() by key, routing an application
@@ -8,120 +10,86 @@
 // using the Kademlia design (the repro hint notes Kademlia is the natural
 // Go-ecosystem substitute). All messaging goes through a Transport so the
 // same node code runs over the in-process simulated network and over TCP.
+//
+// The routing math itself — identifiers, k-bucket tables, and the lookup
+// engine — lives in the transport-free subpackage routing; dht re-exports
+// the identity types as aliases so existing callers are unaffected by the
+// split, and composes the engine with storage, replication and the RPC
+// vocabulary.
 package dht
 
 import (
-	"crypto/rand"
-	"crypto/sha1"
-	"encoding/hex"
-	"fmt"
 	mrand "math/rand"
+
+	"piersearch/internal/codec"
+	"piersearch/internal/dht/routing"
 )
 
 // IDBytes is the identifier width in bytes (160 bits, as in Chord/Kademlia
 // and the paper's DHT discussion).
-const IDBytes = 20
+const IDBytes = routing.IDBytes
 
 // IDBits is the identifier width in bits.
-const IDBits = IDBytes * 8
+const IDBits = routing.IDBits
 
 // ID is a 160-bit node or key identifier.
-type ID [IDBytes]byte
+type ID = routing.ID
+
+// NodeInfo identifies a DHT participant: its identifier plus a
+// transport-specific address.
+type NodeInfo = routing.NodeInfo
+
+// Table is a Kademlia routing table; see routing.Table.
+type Table = routing.Table
+
+// TableStats summarizes a routing table for stats dumps; see
+// routing.TableStats.
+type TableStats = routing.TableStats
 
 // NewID hashes arbitrary bytes into the identifier space.
-func NewID(data []byte) ID { return ID(sha1.Sum(data)) }
+func NewID(data []byte) ID { return routing.NewID(data) }
 
 // StringID hashes a string into the identifier space.
-func StringID(s string) ID { return NewID([]byte(s)) }
+func StringID(s string) ID { return routing.StringID(s) }
 
 // NamespacedID hashes a (namespace, key) pair into the identifier space.
 // PIER uses namespaces to separate tables (e.g. "Item" vs "Inverted") that
 // share the same resource key text.
-func NamespacedID(namespace, key string) ID {
-	h := sha1.New()
-	h.Write([]byte(namespace))
-	h.Write([]byte{0})
-	h.Write([]byte(key))
-	var id ID
-	copy(id[:], h.Sum(nil))
-	return id
-}
+func NamespacedID(namespace, key string) ID { return routing.NamespacedID(namespace, key) }
 
 // RandomID returns a cryptographically random identifier, used for node IDs
 // in real deployments.
-func RandomID() ID {
-	var id ID
-	if _, err := rand.Read(id[:]); err != nil {
-		panic(fmt.Sprintf("dht: crypto/rand failed: %v", err))
-	}
-	return id
-}
+func RandomID() ID { return routing.RandomID() }
 
 // SeededID returns a deterministic pseudo-random identifier, used for
 // reproducible simulations.
-func SeededID(rng *mrand.Rand) ID {
-	var id ID
-	for i := range id {
-		id[i] = byte(rng.Intn(256))
-	}
-	return id
-}
+func SeededID(rng *mrand.Rand) ID { return routing.SeededID(rng) }
 
 // Distance returns the XOR distance between two identifiers.
-func Distance(a, b ID) ID {
-	var d ID
-	for i := range d {
-		d[i] = a[i] ^ b[i]
-	}
-	return d
-}
+func Distance(a, b ID) ID { return routing.Distance(a, b) }
 
 // Less reports whether a < b as big-endian 160-bit integers.
-func Less(a, b ID) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
-}
+func Less(a, b ID) bool { return routing.Less(a, b) }
 
 // Closer reports whether a is strictly closer to target than b under XOR.
-func Closer(a, b, target ID) bool {
-	return Less(Distance(a, target), Distance(b, target))
-}
+func Closer(a, b, target ID) bool { return routing.Closer(a, b, target) }
 
 // BucketIndex returns the index of the k-bucket that holds other relative
 // to self: the position of the highest differing bit, in [0, IDBits). It
 // returns -1 when the identifiers are equal.
-func BucketIndex(self, other ID) int {
-	for i := 0; i < IDBytes; i++ {
-		x := self[i] ^ other[i]
-		if x == 0 {
-			continue
-		}
-		// Highest set bit within this byte.
-		bit := 7
-		for x>>uint(bit) == 0 {
-			bit--
-		}
-		return (IDBytes-1-i)*8 + bit
-	}
-	return -1
-}
+func BucketIndex(self, other ID) int { return routing.BucketIndex(self, other) }
 
-// String returns the full hex form.
-func (id ID) String() string { return hex.EncodeToString(id[:]) }
+// NewTable creates a routing table for the node with identifier self and
+// bucket capacity k.
+func NewTable(self ID, k int) *Table { return routing.NewTable(self, k) }
 
-// Short returns an abbreviated hex prefix for logs.
-func (id ID) Short() string { return hex.EncodeToString(id[:4]) }
+// ReadID decodes an ID from r.
+func ReadID(r *codec.Reader) ID { return routing.ReadID(r) }
 
-// IsZero reports whether the identifier is all zeros.
-func (id ID) IsZero() bool {
-	for _, b := range id {
-		if b != 0 {
-			return false
-		}
-	}
-	return true
+// ReadNodeInfo decodes a contact from r.
+func ReadNodeInfo(r *codec.Reader) NodeInfo { return routing.ReadNodeInfo(r) }
+
+// sortByDistance orders infos in place, nearest to target first.
+func sortByDistance(infos []NodeInfo, target ID) []NodeInfo {
+	return routing.SortByDistance(infos, target)
 }

@@ -2,22 +2,44 @@ package dht
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	mrand "math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"piersearch/internal/dht/routing"
 )
 
 // Config holds node parameters. The zero value is usable: Normalize fills
 // in Kademlia's customary defaults.
 type Config struct {
 	K         int           // bucket size and lookup result width (default 20)
-	Alpha     int           // lookup batch parallelism (default 3)
+	Alpha     int           // lookup probe parallelism (default 3)
 	Replicate int           // number of nodes a value is stored on (default 3)
 	TTL       time.Duration // default value lifetime; 0 means no expiry
 	Clock     func() time.Duration
+
+	// RefreshInterval is how long a bucket may sit idle before the
+	// maintenance loop refreshes it with a lookup in its range (default
+	// 15m). RepublishInterval is the provider-record replication period:
+	// a held value whose StoredAt is older than half this interval is
+	// re-pushed to the Replicate closest contacts (default 30m).
+	RefreshInterval   time.Duration
+	RepublishInterval time.Duration
+
+	// Go, Sleep and LookupWait abstract concurrency and blocking so the
+	// same node code runs over real goroutines and over the virtual-time
+	// scheduler in internal/scale, which requires that tasks block only
+	// through its clock. Defaults: go fn(), time.Sleep, and a blocking
+	// select inside the lookup engine.
+	Go         func(fn func())
+	Sleep      func(d time.Duration)
+	LookupWait func(ctx context.Context, wake <-chan struct{})
 
 	// NewStorage constructs the node's local value store. nil selects the
 	// built-in in-memory sharded map (NewStore). Cluster builders invoke
@@ -49,6 +71,18 @@ func (c Config) Normalize() Config {
 		start := time.Now()
 		c.Clock = func() time.Duration { return time.Since(start) }
 	}
+	if c.RefreshInterval <= 0 {
+		c.RefreshInterval = 15 * time.Minute
+	}
+	if c.RepublishInterval <= 0 {
+		c.RepublishInterval = 30 * time.Minute
+	}
+	if c.Go == nil {
+		c.Go = func(fn func()) { go fn() }
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
 	return c
 }
 
@@ -57,7 +91,7 @@ func (c Config) Normalize() Config {
 type AppHandler func(from NodeInfo, data []byte) []byte
 
 // LookupStats describes the traffic cost of one DHT operation.
-// Hops counts sequential request rounds, the quantity that multiplies RTT
+// Hops counts sequential probe depth, the quantity that multiplies RTT
 // when converting to latency (O(log N) in Kademlia).
 type LookupStats struct {
 	Messages int
@@ -79,6 +113,10 @@ func (s *LookupStats) Add(o LookupStats) {
 // cannot perform lookups.
 var ErrNoContacts = errors.New("dht: routing table empty")
 
+// maxRefreshPerTick bounds how many stale buckets one maintenance tick
+// refreshes, spreading lookup traffic instead of bursting it.
+const maxRefreshPerTick = 2
+
 // Node is one DHT participant. All exported methods are safe for concurrent
 // use: the routing table and store carry their own locks, outbound RPCs are
 // issued without holding any node lock, and the concurrent PIER pipeline
@@ -92,6 +130,23 @@ type Node struct {
 
 	mu       sync.Mutex // guards handlers
 	handlers map[string]AppHandler
+
+	// rng drives refresh-target selection and maintenance jitter. Seeded
+	// from the node's own ID so virtual-time replays are reproducible.
+	rngMu sync.Mutex
+	rng   *mrand.Rand
+
+	// Maintenance state: maintOn gates join-handoff (only a node running
+	// the replication loops volunteers data to new contacts), lastHandoff
+	// rate-limits handoffs per peer.
+	maintOn     atomic.Bool
+	handoffMu   sync.Mutex
+	lastHandoff map[ID]time.Duration
+
+	providesReceived  atomic.Int64
+	handoffsSent      atomic.Int64
+	republishedValues atomic.Int64
+	refreshedBuckets  atomic.Int64
 
 	// storeObs, when set, runs after every local store mutation — both
 	// this node's own puts and inbound replica STOREs. The hot-key cache
@@ -121,20 +176,24 @@ func NewNode(self NodeInfo, transport Transport, cfg Config) *Node {
 	} else {
 		store = NewStore()
 	}
+	table := NewTable(self.ID, cfg.K)
+	table.SetClock(cfg.Clock)
 	return &Node{
-		info:      cfg,
-		self:      self,
-		transport: transport,
-		table:     NewTable(self.ID, cfg.K),
-		store:     store,
-		handlers:  make(map[string]AppHandler),
+		info:        cfg,
+		self:        self,
+		transport:   transport,
+		table:       table,
+		store:       store,
+		handlers:    make(map[string]AppHandler),
+		rng:         mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(self.ID[:8])))),
+		lastHandoff: make(map[ID]time.Duration),
 	}
 }
 
 // Close releases the node's local storage: for a disk-backed store this
 // flushes the write-ahead log, fsyncs and releases the lock file. It is
 // idempotent and returns the first close error. Callers must stop the
-// janitor and any transport serving this node first.
+// janitor, the maintenance loops and any transport serving this node first.
 func (n *Node) Close() error {
 	n.closeOnce.Do(func() { n.closeErr = n.store.Close() })
 	return n.closeErr
@@ -229,12 +288,19 @@ func (n *Node) observe(peer NodeInfo) {
 	if peer.ID == n.self.ID || peer.ID.IsZero() {
 		return
 	}
-	candidate, _ := n.table.Update(peer)
+	candidate, outcome := n.table.Observe(peer)
+	if outcome == routing.OutcomeInserted {
+		// A brand-new contact may be a joiner missing data it is now
+		// responsible for; hand replicas over if replication is running.
+		n.maybeHandoff(peer)
+		return
+	}
 	if candidate == nil {
 		return
 	}
 	// Bucket full: ping the least-recently-seen contact and evict it if
-	// dead, per Kademlia. New contact is dropped if the old one is alive.
+	// dead, per Kademlia. The bucket's replacement cache then promotes the
+	// freshest recently seen contact (usually peer itself) into the slot.
 	if _, err := n.call(*candidate, &Request{Kind: RPCPing, From: n.self}); err != nil {
 		n.table.Evict(candidate.ID)
 		n.table.Update(peer)
@@ -308,6 +374,28 @@ func (n *Node) HandleRPC(req *Request) *Response {
 		n.notifyStore(req.Target)
 		return &Response{From: n.self, OK: true}
 
+	case RPCProvide:
+		now := n.info.Clock()
+		for _, rec := range req.Records {
+			if rec.TTL < 0 {
+				continue
+			}
+			// TTL is remaining lifetime: stamping our own StoredAt keeps
+			// the absolute expiry aligned across holders, and the fresh
+			// StoredAt suppresses our own republish of this value for the
+			// next half-interval — one holder per period refreshes the
+			// whole replica set.
+			n.store.Put(rec.Key, StoredValue{
+				Data:      rec.Data,
+				Publisher: rec.Publisher,
+				StoredAt:  now,
+				TTL:       rec.TTL,
+			})
+			n.notifyStore(rec.Key)
+		}
+		n.providesReceived.Add(int64(len(req.Records)))
+		return &Response{From: n.self, OK: true}
+
 	case RPCApp:
 		n.mu.Lock()
 		h := n.handlers[req.App]
@@ -329,13 +417,41 @@ func (n *Node) Bootstrap(seed NodeInfo) error {
 	if seed.ID == n.self.ID {
 		return nil // first node in the network
 	}
-	resp, err := n.call(seed, &Request{Kind: RPCPing})
-	if err != nil {
-		return fmt.Errorf("dht: bootstrap ping: %w", err)
+	return n.JoinNetwork([]NodeInfo{seed})
+}
+
+// JoinNetwork joins through any reachable seed: each is pinged (a seed
+// given by address alone identifies itself in the reply), then an
+// iterative lookup of the node's own ID populates the buckets nearest to
+// it — the contacts that matter most for the keys it will be asked to
+// hold. With no foreign seed at all the node is the first in the network
+// and joins trivially; with seeds that are all unreachable the join fails.
+func (n *Node) JoinNetwork(seeds []NodeInfo) error {
+	var lastErr error
+	foreign, joined := 0, 0
+	for _, s := range seeds {
+		if s.ID == n.self.ID || s.Addr == n.self.Addr {
+			continue
+		}
+		foreign++
+		resp, err := n.call(s, &Request{Kind: RPCPing})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		n.observe(resp.From)
+		joined++
 	}
-	n.observe(resp.From)
-	_, _, err = n.Lookup(n.self.ID)
-	return err
+	if foreign == 0 {
+		return nil
+	}
+	if joined == 0 {
+		return fmt.Errorf("dht: join: no seed reachable: %w", lastErr)
+	}
+	if _, _, err := n.Lookup(n.self.ID); err != nil {
+		return fmt.Errorf("dht: join self-lookup: %w", err)
+	}
+	return nil
 }
 
 // Lookup performs an iterative FindNode for target, returning up to K
@@ -352,122 +468,81 @@ func (n *Node) LookupContext(ctx context.Context, target ID) ([]NodeInfo, Lookup
 	return infos, stats, err
 }
 
-// iterate is the shared iterative-lookup core. With findValue set it issues
-// FindValue RPCs and returns early once values are found, merging value
-// sets from the closest replica holders it has already contacted.
+// iterate is the shared iterative-lookup core: it binds the transport-free
+// α-parallel engine in package routing to this node's RPCs. With findValue
+// set it issues FindValue RPCs and stops early once Replicate holders have
+// answered, merging their value sets.
 func (n *Node) iterate(ctx context.Context, target ID, findValue bool) ([]NodeInfo, []StoredValue, LookupStats, error) {
 	var stats LookupStats
 
-	shortlist := n.table.Closest(target, n.info.K)
-	if len(shortlist) == 0 {
+	seed := n.table.Closest(target, n.info.K)
+	if len(seed) == 0 {
 		return nil, nil, stats, ErrNoContacts
 	}
-
-	queried := map[ID]bool{n.self.ID: true}
-	failed := map[ID]bool{}
-	var values []StoredValue
-	valueSeen := map[string]bool{}
-	holders := 0
 
 	kind := RPCFindNode
 	if findValue {
 		kind = RPCFindValue
 	}
 
-	for {
-		// Select the alpha closest not-yet-queried contacts.
-		batch := make([]NodeInfo, 0, n.info.Alpha)
-		for _, c := range shortlist {
-			if len(batch) == n.info.Alpha {
-				break
-			}
-			if !queried[c.ID] && !failed[c.ID] {
-				batch = append(batch, c)
-			}
-		}
-		if len(batch) == 0 {
-			break
-		}
-		if err := ctx.Err(); err != nil {
-			return nil, nil, stats, err
-		}
-		stats.Hops++
+	var mu sync.Mutex // guards stats, values, valueSeen, holders
+	var values []StoredValue
+	valueSeen := map[string]bool{}
+	holders := 0
 
-		improved := false
-		for _, c := range batch {
-			if err := ctx.Err(); err != nil {
-				return nil, nil, stats, err
-			}
-			queried[c.ID] = true
-			req := &Request{Kind: kind, Target: target}
-			resp, err := n.callCtx(ctx, c, req)
-			stats.Messages++
-			stats.Bytes += req.WireSize()
-			if err != nil {
-				failed[c.ID] = true
-				stats.Failed++
-				continue
-			}
-			stats.Messages++
-			stats.Bytes += resp.WireSize()
-			n.observe(resp.From)
+	probe := func(ctx context.Context, to NodeInfo, depth int) (routing.ProbeResult, error) {
+		req := &Request{Kind: kind, Target: target}
+		resp, err := n.callCtx(ctx, to, req)
+		mu.Lock()
+		stats.Messages++
+		stats.Bytes += req.WireSize()
+		if err != nil {
+			stats.Failed++
+			mu.Unlock()
+			return routing.ProbeResult{}, err
+		}
+		stats.Messages++
+		stats.Bytes += resp.WireSize()
+		mu.Unlock()
+		n.observe(resp.From)
 
-			if findValue && len(resp.Values) > 0 {
-				holders++
-				for _, v := range resp.Values {
-					k := v.Publisher.String() + string(v.Data)
-					if !valueSeen[k] {
-						valueSeen[k] = true
-						values = append(values, v)
-					}
+		res := routing.ProbeResult{From: resp.From, Closer: resp.Closest}
+		if findValue && len(resp.Values) > 0 {
+			mu.Lock()
+			holders++
+			for _, v := range resp.Values {
+				k := v.Publisher.String() + string(v.Data)
+				if !valueSeen[k] {
+					valueSeen[k] = true
+					values = append(values, v)
 				}
 			}
-			for _, nc := range resp.Closest {
-				if nc.ID == n.self.ID {
-					continue
-				}
-				dup := false
-				for _, existing := range shortlist {
-					if existing.ID == nc.ID {
-						dup = true
-						break
-					}
-				}
-				if !dup {
-					shortlist = append(shortlist, nc)
-					improved = true
-				}
+			// Enough replicas answered: converging on the exact k closest
+			// would add hops without adding data.
+			if holders >= n.info.Replicate {
+				res.Stop = true
 			}
+			mu.Unlock()
 		}
-		shortlist = sortByDistance(shortlist, target)
-		if len(shortlist) > n.info.K {
-			shortlist = shortlist[:n.info.K]
-		}
-		// Stop early once we have merged values from enough replicas.
-		if findValue && holders >= n.info.Replicate {
-			break
-		}
-		if !improved && allQueried(shortlist, queried, failed) {
-			break
-		}
+		return res, nil
 	}
 
-	live := shortlist[:0]
-	for _, c := range shortlist {
-		if !failed[c.ID] {
-			live = append(live, c)
-		}
+	res := routing.Run(ctx, routing.LookupConfig{
+		Target: target,
+		Self:   n.self.ID,
+		K:      n.info.K,
+		Alpha:  n.info.Alpha,
+		Seed:   seed,
+		Probe:  probe,
+		Spawn:  n.info.Go,
+		Wait:   n.info.LookupWait,
+	})
+	n.table.NoteLookup(target)
+	stats.Hops = res.Hops
+	if err := ctx.Err(); err != nil {
+		return nil, nil, stats, err
 	}
-	return live, values, stats, nil
-}
-
-func allQueried(list []NodeInfo, queried, failed map[ID]bool) bool {
-	for _, c := range list {
-		if !queried[c.ID] && !failed[c.ID] {
-			return false
-		}
-	}
-	return true
+	return res.Closest, values, stats, nil
 }
 
 // Put publishes data under the (namespace, key) pair, storing it on the
@@ -706,9 +781,12 @@ func (n *Node) HandleApp(app string, data []byte) ([]byte, error) {
 	return h(n.self, data), nil
 }
 
-// Republish re-stores every locally held value, refreshing replicas after
-// churn. It returns the number of values republished. Keys are processed
-// in ID order so the RPC sequence is reproducible run-over-run.
+// Republish re-stores every locally held value this node published,
+// refreshing replicas after churn through full iterative lookups. It
+// returns the number of values republished. Keys are processed in ID order
+// so the RPC sequence is reproducible run-over-run. The cheaper
+// table-local RepublishTick is what the maintenance loop runs; Republish
+// remains for explicit full repair.
 func (n *Node) Republish() (int, LookupStats) {
 	keys := n.store.Keys()
 	sort.Slice(keys, func(i, j int) bool { return Less(keys[i], keys[j]) })
@@ -735,4 +813,252 @@ func (n *Node) Republish() (int, LookupStats) {
 		}
 	}
 	return len(all), stats
+}
+
+// remainingTTL converts a stored value's (StoredAt, TTL) pair to the
+// lifetime it has left at now. ok is false once the value has expired.
+func remainingTTL(v StoredValue, now time.Duration) (rem time.Duration, ok bool) {
+	if v.TTL <= 0 {
+		return 0, true
+	}
+	rem = v.TTL - (now - v.StoredAt)
+	return rem, rem > 0
+}
+
+// RepublishTick pushes every locally held value that is due — StoredAt
+// older than half the republish interval — to the Replicate closest
+// contacts in the routing table, batched into one Provide RPC per
+// destination. Unlike Republish it issues no lookups: the table's own view
+// of the neighborhood is authoritative enough for periodic repair, and the
+// receiver-side StoredAt rebase means one holder per period refreshes the
+// whole replica set. Keys go in ID order and destinations in first-use
+// order, keeping virtual-time replays byte-identical. Returns how many
+// values were pushed.
+func (n *Node) RepublishTick() (int, LookupStats) {
+	var stats LookupStats
+	now := n.info.Clock()
+	due := n.info.RepublishInterval / 2
+
+	keys := n.store.Keys()
+	sort.Slice(keys, func(i, j int) bool { return Less(keys[i], keys[j]) })
+
+	type destBatch struct {
+		to   NodeInfo
+		recs []ProviderRecord
+	}
+	batches := map[string]*destBatch{}
+	var order []string
+	values := 0
+	for _, k := range keys {
+		for _, v := range n.store.Get(k, now) {
+			if now-v.StoredAt < due {
+				continue
+			}
+			rem, ok := remainingTTL(v, now)
+			if !ok {
+				continue
+			}
+			targets := n.table.Closest(k, n.info.Replicate)
+			if len(targets) == 0 {
+				continue
+			}
+			values++
+			rec := ProviderRecord{Key: k, Data: v.Data, Publisher: v.Publisher, TTL: rem}
+			for _, t := range targets {
+				b := batches[t.Addr]
+				if b == nil {
+					b = &destBatch{to: t}
+					batches[t.Addr] = b
+					order = append(order, t.Addr)
+				}
+				b.recs = append(b.recs, rec)
+			}
+			// Rebase our own copy too, so the value is due again only
+			// after a full half-interval.
+			n.store.Put(k, StoredValue{Data: v.Data, Publisher: v.Publisher, StoredAt: now, TTL: rem})
+		}
+	}
+
+	for _, addr := range order {
+		b := batches[addr]
+		req := &Request{Kind: RPCProvide, Records: b.recs}
+		resp, err := n.call(b.to, req)
+		stats.Messages++
+		stats.Bytes += req.WireSize()
+		if err != nil {
+			stats.Failed++
+			continue
+		}
+		stats.Messages++
+		stats.Bytes += resp.WireSize()
+	}
+	if values > 0 {
+		n.republishedValues.Add(int64(values))
+	}
+	return values, stats
+}
+
+// RefreshTick looks up a random target inside each of up to max stale
+// buckets — buckets with no activity for RefreshInterval — repopulating
+// regions of the ID space the node has not touched organically. Returns
+// how many buckets were refreshed.
+func (n *Node) RefreshTick(max int) (int, LookupStats) {
+	if max <= 0 {
+		max = maxRefreshPerTick
+	}
+	var stats LookupStats
+	stale := n.table.StaleBuckets(n.info.RefreshInterval, max)
+	for _, b := range stale {
+		target := n.refreshTarget(b)
+		if _, s, err := n.Lookup(target); err == nil {
+			stats.Add(s)
+		}
+		n.table.NoteRefreshed(b)
+		n.refreshedBuckets.Add(1)
+	}
+	return len(stale), stats
+}
+
+func (n *Node) refreshTarget(bucket int) ID {
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return n.table.RefreshTarget(bucket, n.rng)
+}
+
+// jitter returns a uniform duration in [0, d), from the node's own seeded
+// rng so replays stay deterministic while nodes desynchronize.
+func (n *Node) jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	n.rngMu.Lock()
+	defer n.rngMu.Unlock()
+	return time.Duration(n.rng.Int63n(int64(d)))
+}
+
+// StartMaintenance launches the routing and replication maintenance loops:
+// bucket refresh every RefreshInterval and provider-record republish every
+// half RepublishInterval, each with a jittered start so a cluster's nodes
+// spread their repair traffic instead of thundering together. While
+// maintenance runs, newly discovered contacts also receive handoffs of
+// values they are now among the closest holders for (join repair). The
+// loops run through Config.Go/Sleep, so under the virtual-time scheduler
+// they are ordinary clock tasks. The returned stop is idempotent; after it
+// is called each loop exits at its next wakeup.
+func (n *Node) StartMaintenance() (stop func()) {
+	if n.maintOn.Swap(true) {
+		return func() {}
+	}
+	var stopped atomic.Bool
+	refreshEvery := n.info.RefreshInterval
+	republishEvery := n.info.RepublishInterval / 2
+
+	n.info.Go(func() {
+		n.info.Sleep(n.jitter(refreshEvery))
+		for !stopped.Load() {
+			n.RefreshTick(maxRefreshPerTick)
+			n.info.Sleep(refreshEvery)
+		}
+	})
+	n.info.Go(func() {
+		n.info.Sleep(n.jitter(republishEvery))
+		for !stopped.Load() {
+			n.RepublishTick()
+			n.info.Sleep(republishEvery)
+		}
+	})
+	return func() {
+		if !stopped.Swap(true) {
+			n.maintOn.Store(false)
+		}
+	}
+}
+
+// maybeHandoff hands local values over to a newly discovered contact, at
+// most once per peer per half republish interval.
+func (n *Node) maybeHandoff(peer NodeInfo) {
+	if !n.maintOn.Load() {
+		return
+	}
+	now := n.info.Clock()
+	gap := n.info.RepublishInterval / 2
+	n.handoffMu.Lock()
+	if last, seen := n.lastHandoff[peer.ID]; seen && now-last < gap {
+		n.handoffMu.Unlock()
+		return
+	}
+	n.lastHandoff[peer.ID] = now
+	n.handoffMu.Unlock()
+	n.info.Go(func() { n.handoffTo(peer) })
+}
+
+// handoffTo pushes to peer every local value it is now among the Replicate
+// closest known contacts for, in one batched Provide RPC.
+func (n *Node) handoffTo(peer NodeInfo) {
+	now := n.info.Clock()
+	keys := n.store.Keys()
+	sort.Slice(keys, func(i, j int) bool { return Less(keys[i], keys[j]) })
+	var recs []ProviderRecord
+	for _, k := range keys {
+		responsible := false
+		for _, c := range n.table.Closest(k, n.info.Replicate) {
+			if c.ID == peer.ID {
+				responsible = true
+				break
+			}
+		}
+		if !responsible {
+			continue
+		}
+		for _, v := range n.store.Get(k, now) {
+			rem, ok := remainingTTL(v, now)
+			if !ok {
+				continue
+			}
+			recs = append(recs, ProviderRecord{Key: k, Data: v.Data, Publisher: v.Publisher, TTL: rem})
+		}
+	}
+	if len(recs) == 0 {
+		return
+	}
+	if _, err := n.call(peer, &Request{Kind: RPCProvide, Records: recs}); err == nil {
+		n.handoffsSent.Add(1)
+	}
+}
+
+// RoutingStats is a point-in-time snapshot of the node's routing table
+// plus its lifetime maintenance counters, surfaced through the daemon's
+// SIGUSR1 dump and the Explain path.
+type RoutingStats struct {
+	Table             TableStats
+	ProvidesReceived  int64
+	HandoffsSent      int64
+	RepublishedValues int64
+	RefreshedBuckets  int64
+}
+
+// RoutingStats returns the node's routing snapshot.
+func (n *Node) RoutingStats() RoutingStats {
+	return RoutingStats{
+		Table:             n.table.Stats(),
+		ProvidesReceived:  n.providesReceived.Load(),
+		HandoffsSent:      n.handoffsSent.Load(),
+		RepublishedValues: n.republishedValues.Load(),
+		RefreshedBuckets:  n.refreshedBuckets.Load(),
+	}
+}
+
+// Format renders the snapshot as a human-readable multi-line dump.
+func (s RoutingStats) Format() string {
+	var b strings.Builder
+	c := s.Table.Counters
+	fmt.Fprintf(&b, "routing: %d contacts across %d buckets\n", s.Table.Contacts, s.Table.NonEmptyBuckets)
+	fmt.Fprintf(&b, "  table: inserts=%d refreshes=%d evictions=%d drops_full=%d promotions=%d\n",
+		c.Inserts, c.Refreshes, c.Evictions, c.DropsFull, c.Promotions)
+	fmt.Fprintf(&b, "  maintenance: provides_received=%d handoffs_sent=%d republished_values=%d refreshed_buckets=%d\n",
+		s.ProvidesReceived, s.HandoffsSent, s.RepublishedValues, s.RefreshedBuckets)
+	for _, f := range s.Table.Fill {
+		fmt.Fprintf(&b, "  bucket %3d: %d contacts, %d replacements\n", f.Index, f.Entries, f.Replacements)
+	}
+	return b.String()
 }

@@ -1,0 +1,72 @@
+package dht
+
+import (
+	"time"
+
+	"piersearch/internal/codec"
+)
+
+// ProviderRecord is one replicated value in flight between holders: the
+// key it lives under, the payload, who originally published it, and how
+// much lifetime it has left. TTL is *remaining* time, not absolute: the
+// receiver stamps its own StoredAt, so the record expires at the same
+// wall/virtual moment on every holder regardless of when it arrived.
+type ProviderRecord struct {
+	Key       ID
+	Data      []byte
+	Publisher ID
+	TTL       time.Duration // remaining lifetime; 0 means no expiry
+}
+
+// providerWireVersion versions the provider-record wire format so the
+// codec can evolve without silently misreading old frames.
+const providerWireVersion = 1
+
+// maxProviderRecords bounds a decoded batch against hostile counts.
+const maxProviderRecords = 1 << 16
+
+// AppendProviderRecords appends the versioned wire form of recs: version
+// byte, record count, then each record as raw key, length-prefixed data,
+// raw publisher, and varint TTL in nanoseconds.
+func AppendProviderRecords(dst []byte, recs []ProviderRecord) []byte {
+	dst = append(dst, providerWireVersion)
+	dst = codec.AppendUvarint(dst, uint64(len(recs)))
+	for _, rec := range recs {
+		dst = rec.Key.AppendWire(dst)
+		dst = codec.AppendBytes(dst, rec.Data)
+		dst = rec.Publisher.AppendWire(dst)
+		dst = codec.AppendVarint(dst, int64(rec.TTL))
+	}
+	return dst
+}
+
+// ReadProviderRecords decodes a provider-record batch from r. On any
+// malformation it fails r and returns nil.
+func ReadProviderRecords(r *codec.Reader) []ProviderRecord {
+	if v := r.Byte(); r.Err() == nil && v != providerWireVersion {
+		r.Fail("unsupported provider record version")
+		return nil
+	}
+	n := r.Count()
+	if n == 0 || r.Err() != nil {
+		return nil
+	}
+	if n > maxProviderRecords {
+		r.Fail("provider record count exceeds limit")
+		return nil
+	}
+	recs := make([]ProviderRecord, 0, n)
+	for i := 0; i < n; i++ {
+		rec := ProviderRecord{
+			Key:       ReadID(r),
+			Data:      r.Bytes(),
+			Publisher: ReadID(r),
+			TTL:       time.Duration(r.Varint()),
+		}
+		if r.Err() != nil {
+			return nil
+		}
+		recs = append(recs, rec)
+	}
+	return recs
+}

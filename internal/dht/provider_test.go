@@ -1,0 +1,107 @@
+package dht
+
+import (
+	"testing"
+	"time"
+
+	"piersearch/internal/codec"
+)
+
+func TestProviderRecordsRoundTrip(t *testing.T) {
+	recs := []ProviderRecord{
+		{Key: StringID("k1"), Data: []byte("value one"), Publisher: StringID("p1"), TTL: time.Hour},
+		{Key: StringID("k2"), Data: nil, Publisher: StringID("p2")},
+		{Key: StringID("k3"), Data: []byte{0}, Publisher: StringID("p3"), TTL: time.Nanosecond},
+	}
+	buf := AppendProviderRecords(nil, recs)
+	r := codec.NewReader(buf)
+	got := ReadProviderRecords(r)
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Key != recs[i].Key || got[i].Publisher != recs[i].Publisher ||
+			got[i].TTL != recs[i].TTL || string(got[i].Data) != string(recs[i].Data) {
+			t.Errorf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestProviderRecordsEmptyBatch(t *testing.T) {
+	buf := AppendProviderRecords(nil, nil)
+	if len(buf) != 2 {
+		t.Fatalf("empty batch = %d bytes, want 2 (version + count)", len(buf))
+	}
+	r := codec.NewReader(buf)
+	if got := ReadProviderRecords(r); got != nil {
+		t.Fatalf("empty batch decoded to %v", got)
+	}
+	if err := r.Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProviderRecordsRejectsBadVersion(t *testing.T) {
+	buf := AppendProviderRecords(nil, []ProviderRecord{{Key: StringID("k")}})
+	buf[0] = 0x7f
+	r := codec.NewReader(buf)
+	if got := ReadProviderRecords(r); got != nil {
+		t.Fatalf("bad version decoded to %v", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("bad version did not fail the reader")
+	}
+}
+
+func TestProviderRecordsRejectsHostileCount(t *testing.T) {
+	// Version byte plus a count far beyond what the remaining bytes could
+	// hold: the reader's count guard must reject it before allocating.
+	buf := codec.AppendUvarint([]byte{1}, 1<<40)
+	r := codec.NewReader(buf)
+	if got := ReadProviderRecords(r); got != nil {
+		t.Fatalf("hostile count decoded to %v", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("hostile count did not fail the reader")
+	}
+}
+
+// FuzzProviderRecords checks the decoder never panics and that anything
+// it accepts re-encodes to a decodable batch of the same shape.
+func FuzzProviderRecords(f *testing.F) {
+	f.Add(AppendProviderRecords(nil, nil))
+	f.Add(AppendProviderRecords(nil, []ProviderRecord{
+		{Key: StringID("k"), Data: []byte("v"), Publisher: StringID("p"), TTL: time.Minute},
+	}))
+	f.Add(AppendProviderRecords(nil, []ProviderRecord{
+		{Key: StringID("a"), Data: []byte("x"), Publisher: StringID("q"), TTL: -time.Second},
+		{Key: StringID("b"), Publisher: StringID("r")},
+	}))
+	f.Add([]byte{1, 0xff})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := codec.NewReader(data)
+		recs := ReadProviderRecords(r)
+		if r.Err() != nil || recs == nil {
+			return
+		}
+		again := codec.NewReader(AppendProviderRecords(nil, recs))
+		got := ReadProviderRecords(again)
+		if again.Err() != nil {
+			t.Fatalf("re-encoded batch does not decode: %v", again.Err())
+		}
+		if len(got) != len(recs) {
+			t.Fatalf("round-trip drift: %d records became %d", len(recs), len(got))
+		}
+		for i := range recs {
+			if got[i].Key != recs[i].Key || got[i].Publisher != recs[i].Publisher ||
+				got[i].TTL != recs[i].TTL || string(got[i].Data) != string(recs[i].Data) {
+				t.Fatalf("record %d drifted: %+v vs %+v", i, got[i], recs[i])
+			}
+		}
+	})
+}

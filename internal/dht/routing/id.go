@@ -1,0 +1,188 @@
+package routing
+
+import (
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/hex"
+	"fmt"
+	mrand "math/rand"
+	"sort"
+
+	"piersearch/internal/codec"
+)
+
+// IDBytes is the identifier width in bytes (160 bits, as in Chord/Kademlia
+// and the paper's DHT discussion).
+const IDBytes = 20
+
+// IDBits is the identifier width in bits.
+const IDBits = IDBytes * 8
+
+// ID is a 160-bit node or key identifier.
+type ID [IDBytes]byte
+
+// NodeInfo identifies a DHT participant: its identifier plus a
+// transport-specific address.
+type NodeInfo struct {
+	ID   ID
+	Addr string
+}
+
+// NewID hashes arbitrary bytes into the identifier space.
+func NewID(data []byte) ID { return ID(sha1.Sum(data)) }
+
+// StringID hashes a string into the identifier space.
+func StringID(s string) ID { return NewID([]byte(s)) }
+
+// NamespacedID hashes a (namespace, key) pair into the identifier space.
+// PIER uses namespaces to separate tables (e.g. "Item" vs "Inverted") that
+// share the same resource key text.
+func NamespacedID(namespace, key string) ID {
+	h := sha1.New()
+	h.Write([]byte(namespace))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	var id ID
+	copy(id[:], h.Sum(nil))
+	return id
+}
+
+// RandomID returns a cryptographically random identifier, used for node IDs
+// in real deployments.
+func RandomID() ID {
+	var id ID
+	if _, err := rand.Read(id[:]); err != nil {
+		panic(fmt.Sprintf("routing: crypto/rand failed: %v", err))
+	}
+	return id
+}
+
+// SeededID returns a deterministic pseudo-random identifier, used for
+// reproducible simulations.
+func SeededID(rng *mrand.Rand) ID {
+	var id ID
+	for i := range id {
+		id[i] = byte(rng.Intn(256))
+	}
+	return id
+}
+
+// Distance returns the XOR distance between two identifiers.
+func Distance(a, b ID) ID {
+	var d ID
+	for i := range d {
+		d[i] = a[i] ^ b[i]
+	}
+	return d
+}
+
+// Less reports whether a < b as big-endian 160-bit integers.
+func Less(a, b ID) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Closer reports whether a is strictly closer to target than b under XOR.
+func Closer(a, b, target ID) bool {
+	return Less(Distance(a, target), Distance(b, target))
+}
+
+// BucketIndex returns the index of the k-bucket that holds other relative
+// to self: the position of the highest differing bit, in [0, IDBits). It
+// returns -1 when the identifiers are equal.
+func BucketIndex(self, other ID) int {
+	for i := 0; i < IDBytes; i++ {
+		x := self[i] ^ other[i]
+		if x == 0 {
+			continue
+		}
+		// Highest set bit within this byte.
+		bit := 7
+		for x>>uint(bit) == 0 {
+			bit--
+		}
+		return (IDBytes-1-i)*8 + bit
+	}
+	return -1
+}
+
+// RandomIDInBucket returns an identifier whose BucketIndex relative to
+// self is exactly bucket: self with bit `bucket` flipped and every lower
+// bit randomized. Bucket refresh looks such an ID up to repopulate a
+// stale bucket with live contacts from its subtree.
+func RandomIDInBucket(self ID, bucket int, rng *mrand.Rand) ID {
+	if bucket < 0 || bucket >= IDBits {
+		panic(fmt.Sprintf("routing: bucket %d out of range", bucket))
+	}
+	id := self
+	byteIdx := IDBytes - 1 - bucket/8
+	bit := uint(bucket % 8)
+	id[byteIdx] ^= 1 << bit
+	// Randomize the bits below the flipped one: the remainder of its byte,
+	// then every less-significant byte.
+	if bit > 0 {
+		mask := byte(1<<bit - 1)
+		id[byteIdx] = id[byteIdx]&^mask | byte(rng.Intn(256))&mask
+	}
+	for i := byteIdx + 1; i < IDBytes; i++ {
+		id[i] = byte(rng.Intn(256))
+	}
+	return id
+}
+
+// String returns the full hex form.
+func (id ID) String() string { return hex.EncodeToString(id[:]) }
+
+// Short returns an abbreviated hex prefix for logs.
+func (id ID) Short() string { return hex.EncodeToString(id[:4]) }
+
+// IsZero reports whether the identifier is all zeros.
+func (id ID) IsZero() bool {
+	for _, b := range id {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SortByDistance orders infos in place, nearest to target first, and
+// returns the slice for convenience.
+func SortByDistance(infos []NodeInfo, target ID) []NodeInfo {
+	sort.Slice(infos, func(i, j int) bool {
+		return Closer(infos[i].ID, infos[j].ID, target)
+	})
+	return infos
+}
+
+// --- wire forms -------------------------------------------------------------
+
+// Shared wire forms for the DHT identity types, used by the RPC codec in
+// package wire and the engine message codec in package pier so the layers
+// cannot drift apart: an ID travels as its raw 20 bytes, a NodeInfo as raw
+// ID plus length-prefixed address.
+
+// AppendWire appends the ID's wire form (raw bytes, no prefix).
+func (id ID) AppendWire(dst []byte) []byte { return append(dst, id[:]...) }
+
+// ReadID decodes an ID from r.
+func ReadID(r *codec.Reader) ID {
+	var id ID
+	copy(id[:], r.Take(IDBytes))
+	return id
+}
+
+// AppendWire appends the contact's wire form.
+func (n NodeInfo) AppendWire(dst []byte) []byte {
+	dst = n.ID.AppendWire(dst)
+	return codec.AppendString(dst, n.Addr)
+}
+
+// ReadNodeInfo decodes a contact from r.
+func ReadNodeInfo(r *codec.Reader) NodeInfo {
+	return NodeInfo{ID: ReadID(r), Addr: r.String()}
+}

@@ -1,0 +1,215 @@
+package routing
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	mrand "math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// fakeNet is an in-memory Kademlia universe: every node holds a k-bucket
+// table fed with every other node, so lookups traverse a realistic
+// structured topology without any transport.
+type fakeNet struct {
+	nodes  []NodeInfo
+	tables map[ID]*Table
+	dead   map[ID]bool
+	probes atomic.Int64
+}
+
+func newFakeNet(n, k int, seed int64) *fakeNet {
+	rng := mrand.New(mrand.NewSource(seed))
+	f := &fakeNet{tables: make(map[ID]*Table), dead: make(map[ID]bool)}
+	for i := 0; i < n; i++ {
+		f.nodes = append(f.nodes, NodeInfo{ID: SeededID(rng), Addr: fmt.Sprintf("node-%d", i)})
+	}
+	for _, n := range f.nodes {
+		tab := NewTable(n.ID, k)
+		for _, other := range f.nodes {
+			tab.Update(other)
+		}
+		f.tables[n.ID] = tab
+	}
+	return f
+}
+
+func (f *fakeNet) probe(target ID) ProbeFunc {
+	return func(ctx context.Context, to NodeInfo, depth int) (ProbeResult, error) {
+		f.probes.Add(1)
+		if f.dead[to.ID] {
+			return ProbeResult{}, errors.New("unreachable")
+		}
+		return ProbeResult{From: to, Closer: f.tables[to.ID].Closest(target, 8)}, nil
+	}
+}
+
+// trueClosest returns the k closest live nodes to target across the whole
+// universe — the ground truth a lookup should converge on.
+func (f *fakeNet) trueClosest(target ID, k int) []NodeInfo {
+	live := make([]NodeInfo, 0, len(f.nodes))
+	for _, n := range f.nodes {
+		if !f.dead[n.ID] {
+			live = append(live, n)
+		}
+	}
+	SortByDistance(live, target)
+	if len(live) > k {
+		live = live[:k]
+	}
+	return live
+}
+
+func (f *fakeNet) lookup(t *testing.T, target ID, alpha int) LookupResult {
+	t.Helper()
+	origin := f.nodes[0]
+	return Run(context.Background(), LookupConfig{
+		Target: target,
+		Self:   origin.ID,
+		K:      8,
+		Alpha:  alpha,
+		Seed:   f.tables[origin.ID].Closest(target, 8),
+		Probe:  f.probe(target),
+	})
+}
+
+func TestLookupFindsTrueClosest(t *testing.T) {
+	f := newFakeNet(128, 8, 42)
+	for trial := 0; trial < 10; trial++ {
+		target := StringID(fmt.Sprintf("key-%d", trial))
+		res := f.lookup(t, target, 1)
+		truth := f.trueClosest(target, 8)
+		if len(res.Closest) == 0 || res.Closest[0].ID != truth[0].ID {
+			t.Fatalf("trial %d: nearest = %v, want %v", trial, res.Closest, truth[0])
+		}
+		found := make(map[ID]bool, len(res.Closest))
+		for _, n := range res.Closest {
+			found[n.ID] = true
+		}
+		hits := 0
+		for _, n := range truth {
+			if found[n.ID] {
+				hits++
+			}
+		}
+		if hits < 6 {
+			t.Fatalf("trial %d: only %d of true top-8 found", trial, hits)
+		}
+		if res.Hops < 1 || res.Hops > 10 {
+			t.Fatalf("trial %d: hops = %d, want logarithmic", trial, res.Hops)
+		}
+		for i := 1; i < len(res.Closest); i++ {
+			if Closer(res.Closest[i].ID, res.Closest[i-1].ID, target) {
+				t.Fatalf("trial %d: result not sorted by distance", trial)
+			}
+		}
+	}
+}
+
+func TestLookupParallelFindsNearest(t *testing.T) {
+	f := newFakeNet(128, 8, 43)
+	for trial := 0; trial < 10; trial++ {
+		target := StringID(fmt.Sprintf("pkey-%d", trial))
+		res := f.lookup(t, target, 4)
+		truth := f.trueClosest(target, 1)
+		if len(res.Closest) == 0 || res.Closest[0].ID != truth[0].ID {
+			t.Fatalf("trial %d: nearest = %v, want %v", trial, res.Closest[0], truth[0])
+		}
+	}
+}
+
+func TestLookupExcludesFailedNodes(t *testing.T) {
+	f := newFakeNet(128, 8, 44)
+	target := StringID("failure-key")
+	// Kill the three true-closest nodes: the lookup must route around them.
+	for _, n := range f.trueClosest(target, 3) {
+		f.dead[n.ID] = true
+	}
+	res := f.lookup(t, target, 3)
+	if res.Failed == 0 {
+		t.Fatal("no failures recorded despite dead nodes on the path")
+	}
+	for _, n := range res.Closest {
+		if f.dead[n.ID] {
+			t.Fatalf("dead node %v in result", n)
+		}
+	}
+	truth := f.trueClosest(target, 1)
+	if len(res.Closest) == 0 || res.Closest[0].ID != truth[0].ID {
+		t.Fatalf("nearest live = %v, want %v", res.Closest, truth[0])
+	}
+}
+
+func TestLookupStopEarly(t *testing.T) {
+	f := newFakeNet(128, 8, 45)
+	target := StringID("stop-key")
+	inner := f.probe(target)
+	var stopped atomic.Int64
+	probe := func(ctx context.Context, to NodeInfo, depth int) (ProbeResult, error) {
+		res, err := inner(ctx, to, depth)
+		if err == nil && stopped.Add(1) >= 3 {
+			res.Stop = true
+		}
+		return res, err
+	}
+	origin := f.nodes[0]
+	res := Run(context.Background(), LookupConfig{
+		Target: target,
+		Self:   origin.ID,
+		K:      8,
+		Alpha:  1,
+		Seed:   f.tables[origin.ID].Closest(target, 8),
+		Probe:  probe,
+	})
+	if !res.Stopped {
+		t.Fatal("Stop not honored")
+	}
+	if res.Probes != 3 {
+		t.Fatalf("probes after stop = %d, want 3 (alpha=1)", res.Probes)
+	}
+}
+
+func TestLookupCanceledContext(t *testing.T) {
+	f := newFakeNet(64, 8, 46)
+	target := StringID("cancel-key")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	origin := f.nodes[0]
+	res := Run(ctx, LookupConfig{
+		Target: target,
+		Self:   origin.ID,
+		K:      8,
+		Alpha:  3,
+		Seed:   f.tables[origin.ID].Closest(target, 8),
+		Probe:  f.probe(target),
+	})
+	if res.Probes != 0 {
+		t.Fatalf("probes after pre-canceled ctx = %d, want 0", res.Probes)
+	}
+}
+
+func TestLookupEmptySeed(t *testing.T) {
+	res := Run(context.Background(), LookupConfig{
+		Target: StringID("x"),
+		Probe: func(ctx context.Context, to NodeInfo, depth int) (ProbeResult, error) {
+			return ProbeResult{}, nil
+		},
+	})
+	if len(res.Closest) != 0 || res.Probes != 0 {
+		t.Fatalf("empty seed: %+v", res)
+	}
+}
+
+func TestLookupSelfExcluded(t *testing.T) {
+	f := newFakeNet(64, 8, 47)
+	origin := f.nodes[0]
+	// Target the origin itself: every responder knows origin, but it must
+	// never appear as a candidate or in the result.
+	res := f.lookup(t, origin.ID, 2)
+	for _, n := range res.Closest {
+		if n.ID == origin.ID {
+			t.Fatal("lookup returned the caller itself")
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package routing
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"testing"
+	"time"
+)
+
+func info(seed string) NodeInfo {
+	return NodeInfo{ID: StringID(seed), Addr: "addr-" + seed}
+}
+
+func TestObserveOutcomes(t *testing.T) {
+	self := StringID("self")
+	tab := NewTable(self, 2)
+
+	if _, out := tab.Observe(NodeInfo{ID: self}); out != OutcomeRejected {
+		t.Fatalf("observing self: got %v, want rejected", out)
+	}
+	if _, out := tab.Observe(NodeInfo{}); out != OutcomeRejected {
+		t.Fatalf("observing zero ID: got %v, want rejected", out)
+	}
+
+	a := info("a")
+	if _, out := tab.Observe(a); out != OutcomeInserted {
+		t.Fatalf("first observe: got %v, want inserted", out)
+	}
+	a.Addr = "addr-a-moved"
+	if _, out := tab.Observe(a); out != OutcomeRefreshed {
+		t.Fatalf("re-observe: got %v, want refreshed", out)
+	}
+	got := tab.Closest(a.ID, 1)
+	if len(got) != 1 || got[0].Addr != "addr-a-moved" {
+		t.Fatalf("refresh did not update address: %+v", got)
+	}
+}
+
+// fillBucket observes contacts until some bucket reports full, returning
+// the full bucket's LRU candidate and the contact that overflowed it.
+func fillBucket(t *testing.T, tab *Table) (lru, overflow NodeInfo) {
+	t.Helper()
+	for i := 0; i < 10_000; i++ {
+		n := info(fmt.Sprintf("contact-%d", i))
+		if cand, out := tab.Observe(n); out == OutcomeFull {
+			return *cand, n
+		}
+	}
+	t.Fatal("no bucket filled")
+	return
+}
+
+func TestEvictPromotesReplacement(t *testing.T) {
+	tab := NewTable(StringID("self"), 2)
+	lru, overflow := fillBucket(t, tab)
+	if tab.Contains(overflow.ID) {
+		t.Fatal("overflow contact admitted to a full bucket")
+	}
+	tab.Evict(lru.ID)
+	if tab.Contains(lru.ID) {
+		t.Fatal("evicted contact still present")
+	}
+	// The replacement cache held the overflow contact; eviction promotes it.
+	if !tab.Contains(overflow.ID) {
+		t.Fatal("replacement not promoted after eviction")
+	}
+	st := tab.Stats()
+	if st.Counters.Evictions != 1 || st.Counters.Promotions != 1 {
+		t.Fatalf("counters: %+v", st.Counters)
+	}
+}
+
+func TestReplacementCacheBounded(t *testing.T) {
+	tab := NewTable(StringID("self"), 1)
+	seen := 0
+	for i := 0; i < 50_000 && seen < replacementCap+3; i++ {
+		if _, out := tab.Observe(info(fmt.Sprintf("r-%d", i))); out == OutcomeFull {
+			seen++
+		}
+	}
+	if seen < replacementCap+3 {
+		t.Skip("not enough colliding contacts generated")
+	}
+	for _, b := range tab.Stats().Fill {
+		if b.Replacements > replacementCap {
+			t.Fatalf("bucket %d replacement cache over cap: %d", b.Index, b.Replacements)
+		}
+	}
+}
+
+// distinctBucketPair returns two contacts guaranteed to land in different
+// buckets of a table owned by self.
+func distinctBucketPair(self ID) (a, b NodeInfo) {
+	a = info("stale-0")
+	ai := BucketIndex(self, a.ID)
+	for i := 1; ; i++ {
+		b = info(fmt.Sprintf("stale-%d", i))
+		if bi := BucketIndex(self, b.ID); bi >= 0 && bi != ai {
+			return a, b
+		}
+	}
+}
+
+func TestStaleBuckets(t *testing.T) {
+	now := time.Duration(0)
+	tab := NewTable(StringID("self"), 4)
+	tab.SetClock(func() time.Duration { return now })
+
+	a, b := distinctBucketPair(tab.Self())
+	tab.Observe(a)
+	now = 10 * time.Minute
+	tab.Observe(b)
+	now = 20 * time.Minute
+
+	stale := tab.StaleBuckets(15*time.Minute, 8)
+	ai, bi := BucketIndex(tab.Self(), a.ID), BucketIndex(tab.Self(), b.ID)
+	if len(stale) != 1 || stale[0] != ai {
+		t.Fatalf("stale = %v, want [%d] (a's bucket only; b touched at 10m)", stale, ai)
+	}
+
+	tab.NoteRefreshed(ai)
+	if got := tab.StaleBuckets(15*time.Minute, 8); len(got) != 0 {
+		t.Fatalf("after NoteRefreshed: stale = %v, want none", got)
+	}
+
+	now = 50 * time.Minute
+	// Both stale now; most-stale first (a refreshed at 20m, b touched at 10m).
+	got := tab.StaleBuckets(15*time.Minute, 8)
+	if len(got) != 2 || got[0] != bi || got[1] != ai {
+		t.Fatalf("stale order = %v, want [%d %d]", got, bi, ai)
+	}
+	if got := tab.StaleBuckets(15*time.Minute, 1); len(got) != 1 {
+		t.Fatalf("max not applied: %v", got)
+	}
+}
+
+func TestNoteLookupKeepsBucketWarm(t *testing.T) {
+	now := time.Duration(0)
+	tab := NewTable(StringID("self"), 4)
+	tab.SetClock(func() time.Duration { return now })
+	a := info("warm")
+	tab.Observe(a)
+	now = 20 * time.Minute
+	tab.NoteLookup(a.ID)
+	now = 30 * time.Minute
+	if got := tab.StaleBuckets(15*time.Minute, 8); len(got) != 0 {
+		t.Fatalf("lookup-warmed bucket reported stale: %v", got)
+	}
+}
+
+func TestRandomIDInBucket(t *testing.T) {
+	rng := mrand.New(mrand.NewSource(1))
+	self := StringID("self")
+	for bucket := 0; bucket < IDBits; bucket += 7 {
+		for trial := 0; trial < 8; trial++ {
+			id := RandomIDInBucket(self, bucket, rng)
+			if got := BucketIndex(self, id); got != bucket {
+				t.Fatalf("bucket %d: generated ID lands in bucket %d", bucket, got)
+			}
+		}
+	}
+}
+
+func TestTableStatsFill(t *testing.T) {
+	tab := NewTable(StringID("self"), 3)
+	for i := 0; i < 40; i++ {
+		tab.Observe(info(fmt.Sprintf("s-%d", i)))
+	}
+	st := tab.Stats()
+	if st.Contacts != tab.Len() {
+		t.Fatalf("stats contacts %d != Len %d", st.Contacts, tab.Len())
+	}
+	total := 0
+	for i, b := range st.Fill {
+		if b.Entries > 3 {
+			t.Fatalf("bucket %d over capacity: %d", b.Index, b.Entries)
+		}
+		total += b.Entries
+		if i > 0 && st.Fill[i-1].Index >= b.Index {
+			t.Fatalf("fill not ascending: %v", st.Fill)
+		}
+	}
+	if total != st.Contacts {
+		t.Fatalf("fill sums to %d, stats say %d", total, st.Contacts)
+	}
+	if st.Counters.Inserts == 0 {
+		t.Fatal("no inserts counted")
+	}
+}

@@ -13,6 +13,10 @@ const (
 	RPCFindValue
 	RPCStore
 	RPCApp
+	// RPCProvide carries a batch of provider records: republish and
+	// join-handoff push replicated values to their k closest holders with
+	// one message per destination instead of one STORE per value.
+	RPCProvide
 )
 
 // String returns the RPC name, used as a traffic-accounting kind.
@@ -28,6 +32,8 @@ func (k RPCKind) String() string {
 		return "store"
 	case RPCApp:
 		return "app"
+	case RPCProvide:
+		return "provide"
 	default:
 		return "unknown"
 	}
@@ -35,12 +41,13 @@ func (k RPCKind) String() string {
 
 // Request is a DHT RPC request.
 type Request struct {
-	Kind   RPCKind
-	From   NodeInfo
-	Target ID          // FindNode / FindValue target, Store key
-	Value  StoredValue // Store payload
-	App    string      // App handler dispatch key
-	Data   []byte      // App payload
+	Kind    RPCKind
+	From    NodeInfo
+	Target  ID               // FindNode / FindValue target, Store key
+	Value   StoredValue      // Store payload
+	App     string           // App handler dispatch key
+	Data    []byte           // App payload
+	Records []ProviderRecord // Provide payload
 }
 
 // Response is a DHT RPC response.
@@ -69,6 +76,9 @@ func (r *Request) WireSize() int {
 		n += IDBytes + 12 // publisher + timestamps
 	}
 	n += len(r.App) + len(r.Data)
+	for _, rec := range r.Records {
+		n += 2*IDBytes + len(rec.Data) + 8
+	}
 	return n
 }
 

@@ -41,8 +41,14 @@ func TestSeedContactPopulatesTableWithoutRPCs(t *testing.T) {
 func TestRepublishDeterministicOrder(t *testing.T) {
 	// Two same-seed clusters republishing the same values must issue the
 	// same RPC sequence; with map-ordered keys the traffic counts drift.
+	// Alpha is pinned to 1: a single lookup worker probes in a fully
+	// deterministic order, which is what makes traffic-count equality a
+	// meaningful assertion (the parallel default is schedule-dependent).
 	run := func() (int, LookupStats) {
-		c := testCluster(t, 24)
+		c, err := NewCluster(24, 42, Config{Alpha: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
 		defer c.Close()
 		rng := rand.New(rand.NewSource(17))
 		for i := 0; i < 40; i++ {

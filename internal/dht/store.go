@@ -68,11 +68,34 @@ type Storage interface {
 // leading ID byte is uniform and a power-of-two mask balances the shards.
 const storeShards = 16
 
-// storeShard is one independently locked bucket of the store.
+// storeShard is one independently locked bucket of the store. sums holds
+// one fingerprint per stored value, in lockstep with values: Put's dedup
+// scan compares 8-byte fingerprints and only falls back to full
+// publisher/payload equality on a match. Posting lists under one keyword
+// key share long payload prefixes, so without the fingerprint a republish
+// wave's Puts degenerate into O(values) expensive memcmps each.
 type storeShard struct {
 	mu     sync.Mutex
 	values map[ID][]StoredValue
+	sums   map[ID][]uint64
 	bytes  int
+}
+
+// fingerprint hashes a value's dedup identity (publisher, payload) with
+// FNV-1a. Collisions are harmless — they just trigger the full compare.
+func fingerprint(v StoredValue) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range v.Publisher {
+		h = (h ^ uint64(b)) * prime64
+	}
+	for _, b := range v.Data {
+		h = (h ^ uint64(b)) * prime64
+	}
+	return h
 }
 
 // Store is the in-memory Storage implementation: the node-local key/value
@@ -94,6 +117,7 @@ func NewStore() *Store {
 	s := &Store{}
 	for i := range s.shards {
 		s.shards[i].values = make(map[ID][]StoredValue)
+		s.shards[i].sums = make(map[ID][]uint64)
 	}
 	return s
 }
@@ -108,17 +132,20 @@ func (s *Store) shard(key ID) *storeShard {
 // was new.
 func (s *Store) Put(key ID, v StoredValue) bool {
 	sh := s.shard(key)
+	h := fingerprint(v)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	vs := sh.values[key]
+	ss := sh.sums[key]
 	for i := range vs {
-		if vs[i].Publisher == v.Publisher && string(vs[i].Data) == string(v.Data) {
+		if ss[i] == h && vs[i].Publisher == v.Publisher && string(vs[i].Data) == string(v.Data) {
 			vs[i].StoredAt = v.StoredAt
 			vs[i].TTL = v.TTL
 			return false
 		}
 	}
 	sh.values[key] = append(vs, v)
+	sh.sums[key] = append(ss, h)
 	sh.bytes += len(v.Data)
 	return true
 }
@@ -132,19 +159,24 @@ func (s *Store) Get(key ID, now time.Duration) []StoredValue {
 	if !ok {
 		return nil
 	}
+	ss := sh.sums[key]
 	live := vs[:0]
-	for _, v := range vs {
+	liveSums := ss[:0]
+	for i, v := range vs {
 		if !v.expired(now) {
 			live = append(live, v)
+			liveSums = append(liveSums, ss[i])
 		} else {
 			sh.bytes -= len(v.Data)
 		}
 	}
 	if len(live) == 0 {
 		delete(sh.values, key)
+		delete(sh.sums, key)
 		return nil
 	}
 	sh.values[key] = live
+	sh.sums[key] = liveSums
 	out := make([]StoredValue, len(live))
 	copy(out, live)
 	return out
@@ -159,6 +191,7 @@ func (s *Store) Delete(key ID) {
 		sh.bytes -= len(v.Data)
 	}
 	delete(sh.values, key)
+	delete(sh.sums, key)
 }
 
 // Keys returns every key currently present (including ones whose values may
@@ -228,19 +261,24 @@ func (s *Store) Expire(now time.Duration) int {
 		sh := &s.shards[i]
 		sh.mu.Lock()
 		for k, vs := range sh.values {
+			ss := sh.sums[k]
 			live := vs[:0]
-			for _, v := range vs {
+			liveSums := ss[:0]
+			for i, v := range vs {
 				if v.expired(now) {
 					removed++
 					sh.bytes -= len(v.Data)
 				} else {
 					live = append(live, v)
+					liveSums = append(liveSums, ss[i])
 				}
 			}
 			if len(live) == 0 {
 				delete(sh.values, k)
+				delete(sh.sums, k)
 			} else {
 				sh.values[k] = live
+				sh.sums[k] = liveSums
 			}
 		}
 		sh.mu.Unlock()

@@ -21,7 +21,7 @@ func TestVirtualNetConformance(t *testing.T) {
 		return &dhttest.Harness{
 			Transport: net,
 			NewNode: func() *dht.Node {
-				n := dht.NewNode(dht.NodeInfo{ID: dht.SeededID(rng), Addr: fmt.Sprintf("vt-%d", next)}, net, dht.Config{Clock: clock.Now})
+				n := dht.NewNode(dht.NodeInfo{ID: dht.SeededID(rng), Addr: fmt.Sprintf("vt-%d", next)}, net, scale.ClockConfig(clock, dht.Config{}))
 				next++
 				net.Join(n)
 				t.Cleanup(func() { n.Close() }) //nolint:errcheck // test teardown

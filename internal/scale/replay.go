@@ -51,6 +51,28 @@ type Config struct {
 	// HotKey parameterises the post-churn hot-key phases (baseline vs
 	// cached Zipf replay). HotKey.Queries == 0 disables them.
 	HotKey HotKeyParams
+
+	// RoutingLookups is the number of sampled iterative FindNode lookups
+	// in the routing measurement phase (0 disables it). Targets are
+	// uniform random IDs, origins rotate through the stable core.
+	RoutingLookups int
+
+	// Survival parameterises the churn-survival phase. Survival.Keys == 0
+	// disables it.
+	Survival SurvivalParams
+}
+
+// SurvivalParams parameterises the churn-survival phase: RemoveFrac of
+// the non-core population is removed permanently (no rejoin) while every
+// node runs its republish/refresh maintenance loops, then Keys sampled
+// pre-removal keys are re-queried from stable-core origins. Refresh and
+// Republish override the cluster's dht maintenance intervals so the
+// repair dynamics fit inside the replay's virtual-time span.
+type SurvivalParams struct {
+	Keys       int           // sampled pre-churn keys to re-query (0 disables)
+	RemoveFrac float64       // fraction of non-core nodes removed (default 0.3)
+	Refresh    time.Duration // bucket-refresh interval (default 10m)
+	Republish  time.Duration // provider-record republish interval (default 20s)
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +121,20 @@ func (c Config) withDefaults() Config {
 			c.HotKey.Warmup = c.HotKey.Origins * c.HotKey.Terms
 		}
 	}
+	if c.Survival.Keys > 0 {
+		if c.Survival.RemoveFrac <= 0 {
+			c.Survival.RemoveFrac = 0.3
+		}
+		if c.Survival.RemoveFrac > 1 {
+			c.Survival.RemoveFrac = 1
+		}
+		if c.Survival.Refresh <= 0 {
+			c.Survival.Refresh = 10 * time.Minute
+		}
+		if c.Survival.Republish <= 0 {
+			c.Survival.Republish = 20 * time.Second
+		}
+	}
 	return c
 }
 
@@ -130,7 +166,11 @@ func Run(cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("scale: Nodes must be positive")
 	}
 	clock := NewClock()
-	cl, err := NewCluster(cfg.Nodes, cfg.Seed, clock, cfg.Latency, dht.Config{Replicate: cfg.Replicate})
+	cl, err := NewCluster(cfg.Nodes, cfg.Seed, clock, cfg.Latency, dht.Config{
+		Replicate:         cfg.Replicate,
+		RefreshInterval:   cfg.Survival.Refresh,
+		RepublishInterval: cfg.Survival.Republish,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -152,6 +192,7 @@ func Run(cfg Config) (*Report, error) {
 	placement := tr.Placement(cfg.Nodes)
 	tuplesPlaced := 0
 	instances := 0
+	var placedKeys []dht.ID
 	for rank, f := range tr.Files {
 		keywords := tok.Tokenize(f.Name)
 		if len(keywords) == 0 {
@@ -174,6 +215,7 @@ func Run(cfg Config) (*Report, error) {
 				for _, owner := range cl.Closest(id, replicate) {
 					owner.LocalPut(id, data)
 				}
+				placedKeys = append(placedKeys, id)
 				tuplesPlaced++
 			}
 		}
@@ -251,6 +293,19 @@ func Run(cfg Config) (*Report, error) {
 		Bytes:     bytes1 - bytes0,
 	}
 
+	// ---- Routing phase: raw iterative FindNode lookups, before churn
+	// starts perturbing the tables, plus a routing-table census.
+	if cfg.RoutingLookups > 0 {
+		rr, err := runRoutingPhase(cfg, clock, cl)
+		if err != nil {
+			return nil, fmt.Errorf("scale: routing phase: %w", err)
+		}
+		rep.Routing = rr
+		// Rebase the traffic baseline so the query phase measures only its
+		// own messages.
+		msgs1, bytes1 = cl.Net.Messages(), cl.Net.Bytes()
+	}
+
 	// ---- Query phase, with churn over the non-core population.
 	queries := tr.Queries
 	step := interval(cfg.QPS)
@@ -292,6 +347,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	qLat := metrics.NewHistogram(1e-3, 1e3, 40)
 	qMatchBytes := metrics.NewHistogram(1, 1e8, 10)
+	qHopsH := metrics.NewHistogram(1, 1e4, 40)
 	qFailed, qMatches, qShipped, qHops := 0, 0, 0, 0
 	qFails := map[string]int{}
 	cache0 := sumTiers(tiers)
@@ -311,6 +367,7 @@ func Run(cfg Config) (*Report, error) {
 				}
 				qLat.Observe(elapsed.Seconds())
 				qMatchBytes.Observe(float64(stats.MatchBytes))
+				qHopsH.Observe(float64(stats.Hops))
 				qMatches += len(results)
 				qShipped += stats.PostingShipped
 				qHops += stats.Hops
@@ -331,28 +388,44 @@ func Run(cfg Config) (*Report, error) {
 		PostingShipped: qShipped,
 		LatencyMs:      quantilesMs(qLat),
 		MatchBytes:     quantilesRaw(qMatchBytes),
+		Hops:           quantilesRaw(qHopsH),
 		HopsMean:       round3(mean(qHops, len(queries)-qFailed)),
 		Messages:       msgs2 - msgs1,
 		Bytes:          bytes2 - bytes1,
 		Cache:          &qCache,
 	}
 
-	// ---- Hot-key phases: drain any churn events still queued past the
-	// query phase, restore every node, then replay the Zipf workload twice
-	// (baseline without tiers, then with fresh ones) over identical
-	// networks.
+	// restore drains churn events still queued past the query phase and
+	// reattaches every node — the common precondition of the hot-key and
+	// survival phases. Idempotent so whichever phase runs first pays it.
+	restored := false
+	restore := func() error {
+		if restored {
+			return nil
+		}
+		restored = true
+		if churnEnd <= 0 {
+			return nil
+		}
+		if err := clock.Run(func() {
+			if d := churnEnd + time.Second - clock.Now(); d > 0 {
+				clock.Sleep(d)
+			}
+		}); err != nil {
+			return fmt.Errorf("scale: churn drain: %w", err)
+		}
+		for i := cfg.StableCore; i < cfg.Nodes; i++ {
+			cl.Net.Reattach(cl.Nodes[i].Info().Addr)
+		}
+		return nil
+	}
+
+	// ---- Hot-key phases: restore every node, then replay the Zipf
+	// workload twice (baseline without tiers, then with fresh ones) over
+	// identical networks.
 	if cfg.HotKey.Queries > 0 {
-		if churnEnd > 0 {
-			if err := clock.Run(func() {
-				if d := churnEnd + time.Second - clock.Now(); d > 0 {
-					clock.Sleep(d)
-				}
-			}); err != nil {
-				return nil, fmt.Errorf("scale: churn drain: %w", err)
-			}
-			for i := cfg.StableCore; i < cfg.Nodes; i++ {
-				cl.Net.Reattach(cl.Nodes[i].Info().Addr)
-			}
+		if err := restore(); err != nil {
+			return nil, err
 		}
 		terms := hotTerms(tr, cfg.HotKey.Terms)
 		if len(terms) > 0 {
@@ -372,6 +445,19 @@ func Run(cfg Config) (*Report, error) {
 			}
 			rep.HotKey = hk
 		}
+	}
+
+	// ---- Survival phase: permanent removals under live maintenance, then
+	// re-queries of keys placed before any churn began.
+	if cfg.Survival.Keys > 0 && len(placedKeys) > 0 {
+		if err := restore(); err != nil {
+			return nil, err
+		}
+		sv, err := runSurvival(cfg, clock, cl, placedKeys)
+		if err != nil {
+			return nil, fmt.Errorf("scale: survival phase: %w", err)
+		}
+		rep.Survival = sv
 	}
 
 	rep.VirtualSeconds = round3(clock.Now().Seconds())

@@ -2,6 +2,7 @@ package scale_test
 
 import (
 	"bytes"
+	"math"
 	"runtime"
 	"testing"
 	"time"
@@ -31,7 +32,9 @@ func acceptanceConfig() scale.Config {
 			MeanSession:  60 * time.Second,
 			MeanDowntime: 30 * time.Second,
 		},
-		HotKey: scale.HotKeyParams{Queries: 200},
+		HotKey:         scale.HotKeyParams{Queries: 200},
+		RoutingLookups: 200,
+		Survival:       scale.SurvivalParams{Keys: 400},
 	}
 	if raceEnabled {
 		cfg.Nodes = 1_500
@@ -40,6 +43,8 @@ func acceptanceConfig() scale.Config {
 		cfg.Trace.Queries = 80
 		cfg.Publishes = 20
 		cfg.HotKey.Queries = 80
+		cfg.RoutingLookups = 80
+		cfg.Survival.Keys = 200
 	}
 	return cfg
 }
@@ -83,6 +88,48 @@ func TestReplayAcceptance(t *testing.T) {
 		t.Fatal("query phase carried no traffic")
 	}
 
+	// Routing acceptance: O(log n) hops and O(k·log n) routing state.
+	rt := rep.Routing
+	if rt == nil {
+		t.Fatal("report has no routing section")
+	}
+	if rt.Failed > 0 {
+		t.Fatalf("%d/%d routing lookups failed", rt.Failed, rt.Lookups)
+	}
+	logN := math.Log2(float64(rep.Config.Nodes))
+	if rt.Hops.Mean <= 0 || rt.Hops.Mean > 0.75*logN {
+		t.Fatalf("mean lookup hops = %.2f at %d nodes, want in (0, %.2f] (0.75·log2 n)",
+			rt.Hops.Mean, rep.Config.Nodes, 0.75*logN)
+	}
+	// Per-node routing state must be O(k·log n), nowhere near O(n). k is
+	// the dht default bucket size (20).
+	stateBound := 20 * (int(math.Ceil(logN)) + 2)
+	if rt.MaxTableContacts > stateBound || rt.MaxTableContacts >= rep.Config.Nodes/4 {
+		t.Fatalf("max routing table = %d contacts, want <= %d and << n=%d",
+			rt.MaxTableContacts, stateBound, rep.Config.Nodes)
+	}
+	if rt.TotalContacts == 0 || rt.MessagesPerLookup <= 0 {
+		t.Fatalf("implausible routing census: %+v", rt)
+	}
+
+	// Survival acceptance: with Replicate=3 and republish running, >=99%
+	// of pre-churn keys must still resolve after 30% of the non-core
+	// population is permanently removed.
+	sv := rep.Survival
+	if sv == nil {
+		t.Fatal("report has no survival section")
+	}
+	wantRemoved := int(0.3 * float64(rep.Config.Nodes-rep.Config.StableCore))
+	if sv.RemovedNodes != wantRemoved {
+		t.Fatalf("removed %d nodes, want %d (30%% of non-core)", sv.RemovedNodes, wantRemoved)
+	}
+	if sv.Rate < 0.99 {
+		t.Fatalf("survival rate = %.3f (%d/%d keys), want >= 0.99", sv.Rate, sv.Succeeded, sv.Keys)
+	}
+	if sv.RepublishedValues == 0 {
+		t.Fatal("maintenance republished nothing during the survival phase")
+	}
+
 	// Bounded memory: the whole cluster plus its corpus must fit well
 	// under 2 GiB of live heap.
 	var ms runtime.MemStats
@@ -110,7 +157,15 @@ func determinismConfig() scale.Config {
 			MeanSession:  30 * time.Second,
 			MeanDowntime: 15 * time.Second,
 		},
-		HotKey: scale.HotKeyParams{Queries: 60},
+		HotKey:         scale.HotKeyParams{Queries: 60},
+		RoutingLookups: 40,
+		// Short maintenance intervals so the determinism run actually
+		// exercises both the republish and the bucket-refresh timers.
+		Survival: scale.SurvivalParams{
+			Keys:      60,
+			Refresh:   30 * time.Second,
+			Republish: 10 * time.Second,
+		},
 	}
 }
 

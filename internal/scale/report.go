@@ -17,7 +17,12 @@ import (
 // v2 added per-error-code failure breakdowns to the publish and query
 // phases, hot-key-tier cache counters, and the hot-key phases (baseline
 // vs cached Zipf replay with hottest-node traffic).
-const ReportSchema = "piersearch/bench-scale/v2"
+//
+// v3 added the routing measurement phase (sampled iterative FindNode
+// lookups with hop quantiles plus a routing-table census), per-query hop
+// quantiles, and the churn-survival phase (permanent removals under live
+// republish/refresh maintenance, then re-queries of pre-churn keys).
+const ReportSchema = "piersearch/bench-scale/v3"
 
 // Report is the replay's serializable result. Everything in it derives
 // from virtual-time execution of a seeded config, so the same Config
@@ -25,14 +30,16 @@ const ReportSchema = "piersearch/bench-scale/v2"
 // floats are rounded to fixed precision, and no wall-clock quantity is
 // recorded.
 type Report struct {
-	Schema         string       `json:"schema"`
-	Config         ConfigStats  `json:"config"`
-	Load           LoadStats    `json:"load"`
-	Publish        PhaseStats   `json:"publish"`
-	Query          QueryStats   `json:"query"`
-	Churn          ChurnStats   `json:"churn"`
-	HotKey         *HotKeyStats `json:"hot_key,omitempty"`
-	VirtualSeconds float64      `json:"virtual_seconds"`
+	Schema         string          `json:"schema"`
+	Config         ConfigStats     `json:"config"`
+	Load           LoadStats       `json:"load"`
+	Publish        PhaseStats      `json:"publish"`
+	Routing        *RoutingReport  `json:"routing,omitempty"`
+	Query          QueryStats      `json:"query"`
+	Churn          ChurnStats      `json:"churn"`
+	HotKey         *HotKeyStats    `json:"hot_key,omitempty"`
+	Survival       *SurvivalReport `json:"survival,omitempty"`
+	VirtualSeconds float64         `json:"virtual_seconds"`
 }
 
 // ConfigStats echoes the replay parameters that shaped the run.
@@ -56,6 +63,12 @@ type ConfigStats struct {
 	HotTerms      int     `json:"hot_terms"`
 	HotOrigins    int     `json:"hot_origins"`
 	HotZipfS      float64 `json:"hot_zipf_s"`
+
+	RoutingLookups     int     `json:"routing_lookups"`
+	SurvivalKeys       int     `json:"survival_keys"`
+	SurvivalRemoveFrac float64 `json:"survival_remove_frac"`
+	RefreshIntervalS   float64 `json:"refresh_interval_s"`
+	RepublishIntervalS float64 `json:"republish_interval_s"`
 }
 
 // LoadStats describes the directly placed corpus.
@@ -102,6 +115,7 @@ type QueryStats struct {
 	PostingShipped int            `json:"posting_shipped"`
 	LatencyMs      Quantiles      `json:"latency_ms"`
 	MatchBytes     Quantiles      `json:"match_bytes"`
+	Hops           Quantiles      `json:"hops"`
 	HopsMean       float64        `json:"hops_mean"`
 	Messages       uint64         `json:"messages"`
 	Bytes          uint64         `json:"bytes"`
@@ -162,6 +176,44 @@ type HotKeyStats struct {
 	HottestMsgReduction float64 `json:"hottest_msg_reduction"`
 }
 
+// RoutingReport summarises the routing measurement phase: sampled
+// iterative FindNode lookups from stable-core origins, plus a census of
+// routing-table state across every node. It answers the two structural
+// questions the Kademlia layer exists for — do lookups converge in
+// O(log n) hops, and is per-node routing state O(k·log n) rather than
+// O(n)?
+type RoutingReport struct {
+	Lookups           int       `json:"lookups"`
+	Failed            int       `json:"failed"`
+	Hops              Quantiles `json:"hops"`
+	LatencyMs         Quantiles `json:"latency_ms"`
+	MessagesPerLookup float64   `json:"messages_per_lookup"`
+	TableContacts     Quantiles `json:"table_contacts"`
+	MaxTableContacts  int       `json:"max_table_contacts"`
+	TotalContacts     int       `json:"total_contacts"`
+	Messages          uint64    `json:"messages"`
+	Bytes             uint64    `json:"bytes"`
+}
+
+// SurvivalReport summarises the churn-survival phase: a fraction of the
+// non-core population is removed permanently while every node's
+// republish/refresh maintenance runs, then keys placed before the
+// removals are re-queried. Rate is the headline number the replication
+// design is judged by.
+type SurvivalReport struct {
+	Keys              int       `json:"keys"`
+	Succeeded         int       `json:"succeeded"`
+	Rate              float64   `json:"rate"`
+	RemovedNodes      int       `json:"removed_nodes"`
+	RemoveFrac        float64   `json:"remove_frac"`
+	Hops              Quantiles `json:"hops"`
+	LatencyMs         Quantiles `json:"latency_ms"`
+	RepublishedValues int64     `json:"republished_values"`
+	HandoffsSent      int64     `json:"handoffs_sent"`
+	Messages          uint64    `json:"messages"`
+	Bytes             uint64    `json:"bytes"`
+}
+
 // ChurnStats describes the injected churn schedule.
 type ChurnStats struct {
 	Population  int     `json:"population"`
@@ -192,6 +244,12 @@ func newReport(cfg Config, tr *trace.Trace) *Report {
 			HotTerms:      cfg.HotKey.Terms,
 			HotOrigins:    cfg.HotKey.Origins,
 			HotZipfS:      cfg.HotKey.ZipfS,
+
+			RoutingLookups:     cfg.RoutingLookups,
+			SurvivalKeys:       cfg.Survival.Keys,
+			SurvivalRemoveFrac: cfg.Survival.RemoveFrac,
+			RefreshIntervalS:   cfg.Survival.Refresh.Seconds(),
+			RepublishIntervalS: cfg.Survival.Republish.Seconds(),
 		},
 	}
 }

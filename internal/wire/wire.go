@@ -114,7 +114,11 @@ func EncodeRequest(req *dht.Request) []byte {
 		buf = appendValue(buf, req.Value)
 	}
 	buf = codec.AppendString(buf, req.App)
-	return codec.AppendBytes(buf, req.Data)
+	buf = codec.AppendBytes(buf, req.Data)
+	// Provider-record batch (RPCProvide's replication/handoff payload).
+	// Always present — an empty batch is two bytes — so the frame layout
+	// stays position-independent of the request kind.
+	return dht.AppendProviderRecords(buf, req.Records)
 }
 
 // DecodeRequest parses a DHT request. Every retained field is copied out
@@ -131,6 +135,7 @@ func DecodeRequest(buf []byte) (*dht.Request, error) {
 	}
 	req.App = r.String()
 	req.Data = r.Bytes()
+	req.Records = dht.ReadProviderRecords(r)
 	return req, r.Finish()
 }
 
