@@ -22,6 +22,18 @@
 //	piersearch -listen 127.0.0.1:4002 -bootstrap 127.0.0.1:4000,127.0.0.1:4001 -daemon
 //	kill -USR1 $(pidof piersearch)
 //
+// -debug-addr starts the live telemetry plane: an HTTP listener serving
+// /metrics (every registered counter, gauge and histogram as text),
+// /traces (recent distributed traces, rendered as trees), /healthz, and
+// net/http/pprof under /debug/pprof/:
+//
+//	piersearch -listen 127.0.0.1:4000 -serve 127.0.0.1:4100 \
+//	    -debug-addr 127.0.0.1:6060 -daemon
+//	curl -s localhost:6060/metrics
+//
+// -trace records distributed spans for every query this process runs or
+// submits and prints the assembled trace tree after -search results.
+//
 // Client mode (-connect) is the other half of the split: a thin process
 // that never joins the DHT. It submits queries and publishes to a daemon
 // over the streaming protocol; results print as the daemon's plan
@@ -43,7 +55,6 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"strings"
@@ -56,6 +67,7 @@ import (
 	"piersearch/internal/piersearch"
 	"piersearch/internal/service"
 	"piersearch/internal/store"
+	"piersearch/internal/telemetry"
 	"piersearch/internal/wire"
 )
 
@@ -92,10 +104,14 @@ func run() int {
 	cacheTTL := flag.Duration("cache-ttl", 30*time.Second, "hot-key cache entry TTL")
 	perClientQPS := flag.Int("per-client-qps", 0, "admission control: per-client queries+publishes/s (0 disables)")
 	perClientBurst := flag.Int("per-client-burst", 0, "per-client burst allowance (0 = same as -per-client-qps)")
+	debugAddr := flag.String("debug-addr", "", "HTTP listen address for /metrics, /traces, /healthz and pprof (empty = off)")
+	trace := flag.Bool("trace", false, "record distributed trace spans; -search prints the trace tree")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	var publishes publishList
 	flag.Var(&publishes, "publish", "filename to publish (repeatable)")
 	flag.Parse()
-	log.SetFlags(0)
+
+	logger := telemetry.NewTextLogger(os.Stderr, telemetry.ParseLevel(*logLevel))
 
 	// One context for the whole process: the first SIGINT/SIGTERM cancels
 	// in-flight queries and unblocks the daemon wait so the deferred
@@ -110,7 +126,10 @@ func run() int {
 	}
 
 	if *connect != "" {
-		return runClient(ctx, *connect, *search, strat, *limit, *explain, publishes, *stdinPublish)
+		return runClient(ctx, clientConfig{
+			addr: *connect, search: *search, strat: strat, limit: *limit, explain: *explain,
+			publishes: publishes, stdinPublish: *stdinPublish, trace: *trace, logger: logger,
+		})
 	}
 	return runDaemon(ctx, daemonConfig{
 		listen: *listen, join: *join, bootstrap: *bootstrap, serve: *serve, search: *search,
@@ -119,16 +138,32 @@ func run() int {
 		dataDir: *dataDir, syncWrites: *syncWrites, publishes: publishes,
 		cache: *cache, cacheBytes: *cacheBytes, cacheTTL: *cacheTTL,
 		perClientQPS: *perClientQPS, perClientBurst: *perClientBurst,
+		debugAddr: *debugAddr, trace: *trace, logger: logger,
 	})
 }
 
 // --- client mode -------------------------------------------------------------
 
+type clientConfig struct {
+	addr, search string
+	strat        piersearch.Strategy
+	limit        int
+	explain      bool
+	publishes    publishList
+	stdinPublish bool
+	trace        bool
+	logger       *telemetry.Logger
+}
+
 // runClient is the thin half of the client/daemon split: it talks the
 // streaming query-service protocol to a daemon and never touches the DHT.
-func runClient(ctx context.Context, addr, search string, strat piersearch.Strategy, limit int, explain bool, publishes publishList, stdinPublish bool) int {
-	client := service.Dial(addr)
+func runClient(ctx context.Context, cc clientConfig) int {
+	logger := cc.logger
+	client := service.Dial(cc.addr)
 	defer client.Close()
+	if cc.trace {
+		client.Tracer = telemetry.NewTracer("client")
+	}
 
 	host, err := os.Hostname()
 	if err != nil || host == "" {
@@ -138,18 +173,18 @@ func runClient(ctx context.Context, addr, search string, strat piersearch.Strate
 		f := piersearch.File{Name: name, Size: int64(len(name)) * 1000, Host: host, Port: 6346}
 		stats, err := client.Publish(ctx, f, piersearch.ModeBoth)
 		if err != nil {
-			log.Printf("publish %q: %v", name, err)
+			logger.Error("publish failed", "file", name, "err", err)
 			return false
 		}
-		log.Printf("published %q via %s: %d tuples, %d bytes", name, addr, stats.Tuples, stats.Bytes)
+		logger.Info("published", "file", name, "daemon", cc.addr, "tuples", stats.Tuples, "bytes", stats.Bytes)
 		return true
 	}
-	for _, name := range publishes {
+	for _, name := range cc.publishes {
 		if !publishOne(name) {
 			return 1
 		}
 	}
-	if stdinPublish {
+	if cc.stdinPublish {
 		sc := bufio.NewScanner(os.Stdin)
 		for sc.Scan() && ctx.Err() == nil {
 			if line := strings.TrimSpace(sc.Text()); line != "" {
@@ -158,31 +193,32 @@ func runClient(ctx context.Context, addr, search string, strat piersearch.Strate
 		}
 	}
 
-	if search != "" {
-		q := piersearch.Query{Text: search, Strategy: strat, Limit: limit}
-		if explain {
+	if cc.search != "" {
+		q := piersearch.Query{Text: cc.search, Strategy: cc.strat, Limit: cc.limit}
+		if cc.explain {
 			text, err := client.Explain(ctx, q)
 			if err != nil {
-				log.Printf("explain: %v", err)
+				logger.Error("explain failed", "err", err)
 				return 1
 			}
-			fmt.Printf("plan for %q on %s:\n%s\n", search, addr, text)
+			fmt.Printf("plan for %q on %s:\n%s\n", cc.search, cc.addr, text)
 		}
 		rs, err := client.Query(ctx, q)
 		if err != nil {
-			log.Printf("search: %v", err)
+			logger.Error("search failed", "err", err)
 			return 1
 		}
 		defer rs.Close()
-		if code := printResults(rs, search, strat); code != 0 {
+		if code := printResults(rs, cc.search, cc.strat, cc.trace, logger); code != 0 {
 			return code
 		}
 	}
 	return 0
 }
 
-// printResults streams a result set to stdout, then its cost line.
-func printResults(rs *piersearch.ResultStream, query string, strat piersearch.Strategy) int {
+// printResults streams a result set to stdout, then its cost line and —
+// when tracing — the assembled distributed trace tree.
+func printResults(rs *piersearch.ResultStream, query string, strat piersearch.Strategy, trace bool, logger *telemetry.Logger) int {
 	n := 0
 	for {
 		r, err := rs.Next()
@@ -190,7 +226,7 @@ func printResults(rs *piersearch.ResultStream, query string, strat piersearch.St
 			break
 		}
 		if err != nil {
-			log.Printf("search: %v", err)
+			logger.Error("search failed", "err", err)
 			return 1
 		}
 		n++
@@ -199,6 +235,11 @@ func printResults(rs *piersearch.ResultStream, query string, strat piersearch.St
 	stats := rs.Stats()
 	fmt.Printf("%d results for %q (%v, %d msgs, %d bytes, %v)\n",
 		n, query, strat, stats.Messages, stats.Bytes, stats.Wall.Round(time.Millisecond))
+	if trace {
+		if spans := rs.Trace(); len(spans) > 0 {
+			fmt.Printf("trace (%d spans across %d nodes):\n%s", len(spans), telemetry.TraceNodes(spans), telemetry.RenderTree(spans))
+		}
+	}
 	return 0
 }
 
@@ -218,30 +259,49 @@ type daemonConfig struct {
 	cacheBytes                   int64
 	cacheTTL                     time.Duration
 	perClientQPS, perClientBurst int
+
+	debugAddr string
+	trace     bool
+	logger    *telemetry.Logger
 }
 
 func runDaemon(ctx context.Context, dc daemonConfig) int {
+	logger := dc.logger
 	ln, err := wire.Listen(dc.listen)
 	if err != nil {
-		log.Printf("listen: %v", err)
+		logger.Error("listen failed", "addr", dc.listen, "err", err)
 		return 1
 	}
 
-	cfg := dht.Config{Logf: log.Printf}
+	// The telemetry plane: one registry every subsystem registers into,
+	// and — when tracing or the debug listener is on — one span ring the
+	// whole process shares.
+	reg := telemetry.NewRegistry()
+	var tracer *telemetry.Tracer
+	if dc.trace || dc.debugAddr != "" {
+		tracer = telemetry.NewTracer(ln.Addr().String())
+	}
+
+	cfg := dht.Config{Logger: logger.With("sub", "dht"), Tracer: tracer, Metrics: reg}
 	switch dc.storeKind {
 	case "mem":
 	case "disk":
-		d, err := store.Open(dc.dataDir, store.Options{Sync: dc.syncWrites, Logf: log.Printf})
+		d, err := store.Open(dc.dataDir, store.Options{
+			Sync:    dc.syncWrites,
+			Logger:  logger.With("sub", "store"),
+			Tracer:  tracer,
+			Metrics: reg,
+		})
 		if err != nil {
-			log.Printf("open disk store: %v", err)
+			logger.Error("open disk store failed", "dir", dc.dataDir, "err", err)
 			return 1
 		}
 		if rec := d.Recovery(); rec.Values > 0 {
-			log.Printf("recovered %d values from %s", rec.Values, dc.dataDir)
+			logger.Info("recovered store", "values", rec.Values, "dir", dc.dataDir)
 		}
 		cfg.NewStorage = func(dht.NodeInfo) (dht.Storage, error) { return d, nil }
 	default:
-		log.Printf("unknown -store %q (want mem or disk)", dc.storeKind)
+		logger.Error("unknown -store (want mem or disk)", "store", dc.storeKind)
 		return 1
 	}
 	transport := wire.NewTCPTransport()
@@ -258,34 +318,57 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 		srv.Close()       //nolint:errcheck // shutting down
 		transport.Close() //nolint:errcheck // shutting down
 		if err := node.Close(); err != nil {
-			log.Printf("close store: %v", err)
+			logger.Error("close store failed", "err", err)
 		}
 		if js := node.JanitorStats(); js.Reclaimed > 0 {
-			log.Printf("janitor reclaimed %d expired entries over %d sweeps", js.Reclaimed, js.Sweeps)
+			logger.Info("janitor totals", "reclaimed", js.Reclaimed, "sweeps", js.Sweeps)
 		}
 	}()
-	log.Printf("node %s listening on %s (%s store)", node.Info().ID.Short(), srv.Addr(), dc.storeKind)
+	logger.Info("node listening", "id", node.Info().ID.Short(), "addr", srv.Addr(), "store", dc.storeKind)
 
-	// SIGUSR1 dumps the routing table and maintenance counters without
-	// disturbing the node: bucket fill, evictions, refreshes, republishes.
+	engine := pier.NewEngine(node, pier.Config{OrderBySelectivity: true})
+	piersearch.RegisterSchemas(engine)
+	var tier *hotcache.Tier
+	if dc.cache {
+		tier = hotcache.NewTier(hotcache.Options{
+			MaxBytes: dc.cacheBytes,
+			TTL:      dc.cacheTTL,
+		})
+		tier.RegisterMetrics(reg)
+		engine.SetHotTier(tier)
+		logger.Info("hot-key tier on", "budget_mib", dc.cacheBytes>>20, "ttl", dc.cacheTTL)
+	}
+
+	// The debug listener serves the same registry and span ring the
+	// SIGUSR1 snapshot reads: /metrics, /traces, /healthz, pprof.
+	if dc.debugAddr != "" {
+		dln, stopDebug, err := telemetry.ListenDebug(dc.debugAddr, reg, tracer)
+		if err != nil {
+			logger.Error("debug listener failed", "addr", dc.debugAddr, "err", err)
+			return 1
+		}
+		defer stopDebug()
+		logger.Info("debug endpoints on", "addr", dln.Addr().String())
+	}
+
+	// SIGUSR1 dumps one structured snapshot without disturbing the node:
+	// the full metrics registry (the same text /metrics serves — routing
+	// occupancy, maintenance counters, hotcache TierStats, janitor
+	// totals) followed by the routing table.
 	usr1 := make(chan os.Signal, 1)
 	signal.Notify(usr1, syscall.SIGUSR1)
 	defer signal.Stop(usr1)
 	go func() {
 		for range usr1 {
-			log.Printf("routing stats:\n%s", node.RoutingStats().Format())
+			var b strings.Builder
+			b.WriteString("=== metrics ===\n")
+			reg.WriteText(&b) //nolint:errcheck // strings.Builder cannot fail
+			b.WriteString("=== routing ===\n")
+			b.WriteString(node.RoutingStats().Format())
+			fmt.Fprint(os.Stderr, b.String())
 		}
 	}()
 
-	engine := pier.NewEngine(node, pier.Config{OrderBySelectivity: true})
-	piersearch.RegisterSchemas(engine)
-	if dc.cache {
-		engine.SetHotTier(hotcache.NewTier(hotcache.Options{
-			MaxBytes: dc.cacheBytes,
-			TTL:      dc.cacheTTL,
-		}))
-		log.Printf("hot-key tier on (%d MiB, %v TTL)", dc.cacheBytes>>20, dc.cacheTTL)
-	}
 	searcher := piersearch.NewSearch(engine, piersearch.Tokenizer{})
 	pub := piersearch.NewPublisher(engine, piersearch.ModeBoth, piersearch.Tokenizer{})
 
@@ -294,18 +377,20 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 	if dc.serve != "" {
 		svcLn, err := wire.Listen(dc.serve)
 		if err != nil {
-			log.Printf("serve: %v", err)
+			logger.Error("serve listen failed", "addr", dc.serve, "err", err)
 			return 1
 		}
 		svc := service.NewServer(svcLn, searcher, pub, service.Options{
 			MaxQueries:     dc.maxQueries,
 			PerClientQPS:   dc.perClientQPS,
 			PerClientBurst: dc.perClientBurst,
-			Logf:           log.Printf,
+			Logger:         logger.With("sub", "service"),
+			Tracer:         tracer,
+			Metrics:        reg,
 		})
 		go svc.Serve() //nolint:errcheck // closed below
 		defer svc.Close()
-		log.Printf("query service on %s (max %d concurrent queries)", svc.Addr(), dc.maxQueries)
+		logger.Info("query service on", "addr", svc.Addr(), "max_queries", dc.maxQueries)
 	}
 
 	// -join and -bootstrap both feed JoinNetwork, which pings each seed
@@ -323,20 +408,20 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 	}
 	if len(seeds) > 0 {
 		if err := node.JoinNetwork(seeds); err != nil {
-			log.Printf("join: %v", err)
+			logger.Error("join failed", "err", err)
 			return 1
 		}
-		log.Printf("joined network via %d seed(s) (%d contacts)", len(seeds), node.TableLen())
+		logger.Info("joined network", "seeds", len(seeds), "contacts", node.TableLen())
 	}
 
 	publishOne := func(name string) {
 		f := piersearch.File{Name: name, Size: int64(len(name)) * 1000, Host: srv.Addr(), Port: 6346}
 		stats, err := pub.PublishFile(f)
 		if err != nil {
-			log.Printf("publish %q: %v", name, err)
+			logger.Error("publish failed", "file", name, "err", err)
 			return
 		}
-		log.Printf("published %q: %d tuples, %d bytes", name, stats.Tuples, stats.Bytes)
+		logger.Info("published", "file", name, "tuples", stats.Tuples, "bytes", stats.Bytes)
 	}
 	for _, name := range dc.publishes {
 		publishOne(name)
@@ -355,7 +440,7 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 		if dc.explain {
 			text, err := searcher.Explain(q)
 			if err != nil {
-				log.Printf("explain: %v", err)
+				logger.Error("explain failed", "err", err)
 				return 1
 			}
 			fmt.Printf("plan for %q:\n%s\n", dc.search, text)
@@ -366,18 +451,18 @@ func runDaemon(ctx context.Context, dc daemonConfig) int {
 		// same executor the query service runs for remote clients.
 		rs, err := searcher.QueryContext(ctx, q)
 		if err != nil {
-			log.Printf("search: %v", err)
+			logger.Error("search failed", "err", err)
 			return 1
 		}
 		defer rs.Close()
-		if code := printResults(rs, dc.search, dc.strat); code != 0 {
+		if code := printResults(rs, dc.search, dc.strat, dc.trace, logger); code != 0 {
 			return code
 		}
 	}
 
 	if dc.daemon {
 		<-ctx.Done()
-		log.Println("shutting down")
+		logger.Info("shutting down")
 	}
 	return 0
 }

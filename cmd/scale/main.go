@@ -49,6 +49,7 @@ func main() {
 		hotOrigins = flag.Int("hot-origins", 4, "hot-key phase: query origin count")
 		hotZipf    = flag.Float64("hot-zipf", 1.1, "hot-key phase: Zipf exponent over the hot terms")
 
+		traceSample    = flag.Int("trace-sample", 50, "record a distributed trace for every Nth query (0 disables)")
 		routingLookups = flag.Int("routing-lookups", 200, "routing phase: measured iterative FindNode lookups (0 disables)")
 		survivalKeys   = flag.Int("survival-keys", 400, "survival phase: sampled keys queried after churn (0 disables)")
 		survivalRemove = flag.Float64("survival-remove", 0.3, "survival phase: fraction of non-core nodes removed")
@@ -81,6 +82,7 @@ func main() {
 			Origins: *hotOrigins,
 			ZipfS:   *hotZipf,
 		},
+		TraceSample:    *traceSample,
 		RoutingLookups: *routingLookups,
 		Survival: scale.SurvivalParams{
 			Keys:       *survivalKeys,
@@ -109,6 +111,11 @@ func main() {
 	if sv := rep.Survival; sv != nil {
 		log.Printf("survival: %d/%d keys after removing %d nodes (rate %.3f), %d values republished",
 			sv.Succeeded, sv.Keys, sv.RemovedNodes, sv.Rate, sv.RepublishedValues)
+	}
+	if len(rep.Traces) > 0 {
+		t := rep.Traces[0]
+		log.Printf("traces: %d sampled (first: %d spans across %d nodes, depth %d, %d rpcs)",
+			len(rep.Traces), t.Spans, t.Nodes, t.Depth, t.RPCs)
 	}
 
 	if *out == "-" {

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	mrand "math/rand"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"piersearch/internal/dht/routing"
+	"piersearch/internal/telemetry"
 )
 
 // Config holds node parameters. The zero value is usable: Normalize fills
@@ -52,8 +54,24 @@ type Config struct {
 	NewStorage func(self NodeInfo) (Storage, error)
 
 	// Logf, when set, receives operational log lines (janitor sweep
-	// reclaim counts). nil silences them.
+	// reclaim counts). nil silences them. Retained as a source-compatible
+	// adapter: Normalize wraps it into Logger when Logger is unset.
 	Logf func(format string, args ...any)
+
+	// Logger receives structured operational events. When nil, Normalize
+	// derives one from Logf (or discards everything if both are unset).
+	Logger *telemetry.Logger
+
+	// Tracer, when set, records this node's side of distributed query
+	// traces: one span per RPC issued and served, per-hop lookup probe
+	// spans, and the spans piggy-backed on responses it absorbs. Nil
+	// disables tracing at zero cost.
+	Tracer *telemetry.Tracer
+
+	// Metrics, when set, registers the node's counters and gauges
+	// (dht.rpc.in.*/out.*, table occupancy, eviction/refresh/republish
+	// counts). Nil disables metric collection at zero cost.
+	Metrics *telemetry.Registry
 }
 
 // Normalize fills unset fields with defaults and returns the config.
@@ -82,6 +100,9 @@ func (c Config) Normalize() Config {
 	}
 	if c.Sleep == nil {
 		c.Sleep = time.Sleep
+	}
+	if c.Logger == nil && c.Logf != nil {
+		c.Logger = telemetry.NewLogger(telemetry.LogfSink(c.Logf), telemetry.LevelDebug)
 	}
 	return c
 }
@@ -160,6 +181,16 @@ type Node struct {
 
 	janitorSweeps    atomic.Int64
 	janitorReclaimed atomic.Int64
+
+	// tracer records this node's side of distributed traces. Held in an
+	// atomic pointer so cluster builders can attach tracers after
+	// construction (SetTracer) without racing in-flight RPCs. Nil means
+	// tracing off.
+	tracer atomic.Pointer[telemetry.Tracer]
+
+	// met holds the node's pre-resolved metric instruments; the zero
+	// value (registry absent) is all-nil counters, which no-op.
+	met nodeMetrics
 }
 
 // NewNode creates a node with the given identity, transport and config.
@@ -178,7 +209,7 @@ func NewNode(self NodeInfo, transport Transport, cfg Config) *Node {
 	}
 	table := NewTable(self.ID, cfg.K)
 	table.SetClock(cfg.Clock)
-	return &Node{
+	n := &Node{
 		info:        cfg,
 		self:        self,
 		transport:   transport,
@@ -188,7 +219,19 @@ func NewNode(self NodeInfo, transport Transport, cfg Config) *Node {
 		rng:         mrand.New(mrand.NewSource(int64(binary.BigEndian.Uint64(self.ID[:8])))),
 		lastHandoff: make(map[ID]time.Duration),
 	}
+	if cfg.Tracer != nil {
+		n.tracer.Store(cfg.Tracer)
+	}
+	n.registerMetrics(cfg.Metrics)
+	return n
 }
+
+// SetTracer attaches (or, with nil, detaches) the tracer recording this
+// node's spans. Safe to call while RPCs are in flight.
+func (n *Node) SetTracer(t *telemetry.Tracer) { n.tracer.Store(t) }
+
+// Tracer returns the node's tracer, nil when tracing is off.
+func (n *Node) Tracer() *telemetry.Tracer { return n.tracer.Load() }
 
 // Close releases the node's local storage: for a disk-backed store this
 // flushes the write-ahead log, fsyncs and releases the lock file. It is
@@ -265,9 +308,9 @@ func (n *Node) StartJanitor(interval time.Duration) (stop func()) {
 				return
 			case <-t.C:
 				n.janitorSweeps.Add(1)
-				if removed := n.ExpireNow(); removed > 0 && n.info.Logf != nil {
-					n.info.Logf("dht: janitor reclaimed %d expired entries (%d total)",
-						removed, n.janitorReclaimed.Load())
+				if removed := n.ExpireNow(); removed > 0 {
+					n.info.Logger.Info("dht: janitor reclaimed expired entries",
+						"removed", removed, "total", n.janitorReclaimed.Load())
 				}
 			}
 		}
@@ -303,6 +346,7 @@ func (n *Node) observe(peer NodeInfo) {
 	// freshest recently seen contact (usually peer itself) into the slot.
 	if _, err := n.call(*candidate, &Request{Kind: RPCPing, From: n.self}); err != nil {
 		n.table.Evict(candidate.ID)
+		n.met.evictions.Inc()
 		n.table.Update(peer)
 	}
 }
@@ -333,28 +377,66 @@ func (n *Node) call(to NodeInfo, req *Request) (*Response, error) {
 // not known dead, the caller just stopped waiting.
 func (n *Node) callCtx(ctx context.Context, to NodeInfo, req *Request) (*Response, error) {
 	req.From = n.self
+	// Trace: stamp the outbound envelope with a fresh span so the remote
+	// handler's span parents under it. StartSpan is a no-op returning a
+	// nil span when ctx carries no trace (the common, untraced path).
+	_, sp := telemetry.StartSpan(ctx, "dht.rpc")
+	if sp != nil {
+		sp.SetAttr("kind", req.Kind.String())
+		sp.SetAttr("to", to.Addr)
+		req.TraceID, req.SpanID = sp.Trace(), sp.ID()
+	}
+	n.met.rpcOut[req.Kind&rpcKindMask].Inc()
 	var resp *Response
 	var err error
 	if ct, ok := n.transport.(ContextTransport); ok {
 		resp, err = ct.CallContext(ctx, to, req)
 	} else {
 		if err := ctx.Err(); err != nil {
+			sp.FinishErr(err)
 			return nil, fmt.Errorf("dht: call %s: %w", to.Addr, err)
 		}
 		resp, err = n.transport.Call(to, req)
 	}
 	if err != nil {
+		n.met.rpcOutFail.Inc()
+		sp.FinishErr(err)
 		if ctx.Err() == nil {
 			n.table.Evict(to.ID)
+			n.met.evictions.Inc()
 		}
 		return nil, err
 	}
+	// Absorb the handler-side spans piggy-backed on the response into
+	// our own ring so the whole trace assembles at the query's origin.
+	if sp != nil {
+		sp.Tracer().Absorb(resp.Spans)
+	}
+	sp.Finish()
 	return resp, nil
 }
 
 // HandleRPC is the server side of the protocol: transports deliver inbound
-// requests here.
+// requests here. Traced requests get a handler span, and every span this
+// node's ring holds for the request's trace rides back on the response so
+// the trace assembles at the query's origin.
 func (n *Node) HandleRPC(req *Request) *Response {
+	n.met.rpcIn[req.Kind&rpcKindMask].Inc()
+	if req.TraceID == 0 {
+		return n.handleRPC(req)
+	}
+	tr := n.tracer.Load()
+	if tr == nil {
+		return n.handleRPC(req)
+	}
+	sp := tr.StartHandler(req.TraceID, req.SpanID, "serve."+req.Kind.String())
+	resp := n.handleRPC(req)
+	sp.Finish()
+	resp.Spans = tr.TraceSpans(req.TraceID)
+	return resp
+}
+
+func (n *Node) handleRPC(req *Request) *Response {
 	n.observe(req.From)
 	switch req.Kind {
 	case RPCPing:
@@ -491,8 +573,16 @@ func (n *Node) iterate(ctx context.Context, target ID, findValue bool) ([]NodeIn
 	holders := 0
 
 	probe := func(ctx context.Context, to NodeInfo, depth int) (routing.ProbeResult, error) {
+		// Per-hop probe span: records which contact was probed at which
+		// iteration depth; the RPC span from callCtx nests under it.
+		ctx, psp := telemetry.StartSpan(ctx, "lookup.probe")
+		if psp != nil {
+			psp.SetAttr("to", to.Addr)
+			psp.SetAttr("depth", strconv.Itoa(depth))
+		}
 		req := &Request{Kind: kind, Target: target}
 		resp, err := n.callCtx(ctx, to, req)
+		psp.FinishErr(err)
 		mu.Lock()
 		stats.Messages++
 		stats.Bytes += req.WireSize()

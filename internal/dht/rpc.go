@@ -1,6 +1,10 @@
 package dht
 
-import "context"
+import (
+	"context"
+
+	"piersearch/internal/telemetry"
+)
 
 // RPCKind enumerates the Kademlia RPCs plus the application-message channel
 // PIER uses to route query plans and tuple batches to key owners.
@@ -48,6 +52,13 @@ type Request struct {
 	App     string           // App handler dispatch key
 	Data    []byte           // App payload
 	Records []ProviderRecord // Provide payload
+
+	// Trace context: zero TraceID means untraced. Stamped by the caller
+	// (Node.callCtx) from the request context; carried as a versioned
+	// trailing block by the TCP transport and as plain struct fields by
+	// the in-process transports.
+	TraceID telemetry.TraceID
+	SpanID  telemetry.SpanID
 }
 
 // Response is a DHT RPC response.
@@ -57,6 +68,11 @@ type Response struct {
 	Values  []StoredValue // FindValue: stored values, if the key is held here
 	Data    []byte        // App reply payload
 	OK      bool
+
+	// Spans piggy-backs the handler-side span records for the request's
+	// trace back to the caller, which absorbs them into its own ring.
+	// Empty on untraced requests.
+	Spans []telemetry.Span
 }
 
 // nodeInfoWireBytes approximates the serialized size of one contact:
@@ -79,6 +95,10 @@ func (r *Request) WireSize() int {
 	for _, rec := range r.Records {
 		n += 2*IDBytes + len(rec.Data) + 8
 	}
+	n++ // trace flag byte
+	if r.TraceID != 0 {
+		n += 16
+	}
 	return n
 }
 
@@ -92,6 +112,13 @@ func (r *Response) WireSize() int {
 		n += len(v.Data) + IDBytes + 12
 	}
 	n += len(r.Data)
+	for i := range r.Spans {
+		s := &r.Spans[i]
+		n += 24 + 10 + len(s.Name) + len(s.Node) + len(s.Err)
+		for _, a := range s.Attrs {
+			n += len(a.Key) + len(a.Val) + 2
+		}
+	}
 	return n
 }
 

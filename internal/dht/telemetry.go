@@ -1,0 +1,45 @@
+package dht
+
+import "piersearch/internal/telemetry"
+
+// rpcKindMask bounds RPCKind indexing into the per-kind counter arrays
+// so an unknown kind off the wire lands in a spare slot instead of
+// panicking.
+const rpcKindMask = 7
+
+// nodeMetrics holds the node's pre-resolved instruments. The zero
+// value — no registry configured — is all nil counters, whose methods
+// no-op, so the hot path never branches on "metrics enabled".
+type nodeMetrics struct {
+	rpcIn      [rpcKindMask + 1]*telemetry.Counter
+	rpcOut     [rpcKindMask + 1]*telemetry.Counter
+	rpcOutFail *telemetry.Counter
+	evictions  *telemetry.Counter
+}
+
+// registerMetrics resolves counters and registers gauges on reg. The
+// gauges sample live node state (routing-table occupancy, store size,
+// maintenance totals) at scrape time; counters are bumped inline on
+// the RPC paths.
+func (n *Node) registerMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	kinds := []RPCKind{RPCPing, RPCFindNode, RPCFindValue, RPCStore, RPCApp, RPCProvide}
+	for _, k := range kinds {
+		n.met.rpcIn[k&rpcKindMask] = reg.Counter("dht.rpc.in." + k.String())
+		n.met.rpcOut[k&rpcKindMask] = reg.Counter("dht.rpc.out." + k.String())
+	}
+	n.met.rpcOutFail = reg.Counter("dht.rpc.out.failed")
+	n.met.evictions = reg.Counter("dht.table.evictions")
+	reg.Gauge("dht.table.contacts", func() int64 { return int64(n.table.Len()) })
+	reg.Gauge("dht.store.keys", func() int64 { return int64(n.store.Len()) })
+	reg.Gauge("dht.store.values", func() int64 { return int64(n.store.ValueCount()) })
+	reg.Gauge("dht.store.value_bytes", func() int64 { return int64(n.store.Bytes()) })
+	reg.Gauge("dht.provides_received", n.providesReceived.Load)
+	reg.Gauge("dht.handoffs_sent", n.handoffsSent.Load)
+	reg.Gauge("dht.republished_values", n.republishedValues.Load)
+	reg.Gauge("dht.refreshed_buckets", n.refreshedBuckets.Load)
+	reg.Gauge("dht.janitor.sweeps", n.janitorSweeps.Load)
+	reg.Gauge("dht.janitor.reclaimed", n.janitorReclaimed.Load)
+}

@@ -1,0 +1,26 @@
+package hotcache
+
+import "piersearch/internal/telemetry"
+
+// RegisterMetrics publishes the tier's counters as gauges on reg, under
+// hotcache.data.*, hotcache.routes.*, and hotcache.*. Gauges sample
+// Stats() on demand, so registration is the only cost; the tier itself
+// keeps no registry reference.
+func (t *Tier) RegisterMetrics(reg *telemetry.Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	cache := func(prefix string, c *Cache) {
+		reg.Gauge(prefix+".entries", func() int64 { return int64(c.Stats().Entries) })
+		reg.Gauge(prefix+".bytes", func() int64 { return c.Stats().Bytes })
+		reg.Gauge(prefix+".hits", func() int64 { return c.Stats().Hits })
+		reg.Gauge(prefix+".misses", func() int64 { return c.Stats().Misses })
+		reg.Gauge(prefix+".evictions", func() int64 { return c.Stats().Evictions })
+		reg.Gauge(prefix+".expirations", func() int64 { return c.Stats().Expirations })
+		reg.Gauge(prefix+".invalidations", func() int64 { return c.Stats().Invalidations })
+	}
+	cache("hotcache.data", t.Data)
+	cache("hotcache.routes", t.Routes)
+	reg.Gauge("hotcache.coalesced", func() int64 { return t.Flights.Coalesced() })
+	reg.Gauge("hotcache.fanout_reads", func() int64 { return t.fanout.Load() })
+}

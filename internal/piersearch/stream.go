@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"piersearch/internal/plan"
+	"piersearch/internal/telemetry"
 )
 
 // ErrDone is returned by ResultStream.Next once the stream is exhausted.
@@ -120,8 +121,23 @@ func (s *Search) QueryContext(ctx context.Context, q Query) (*ResultStream, erro
 	if err != nil {
 		return nil, err
 	}
+	// Trace: continue the span already in ctx (a traced service stream),
+	// or mint a fresh trace when the node has a tracer attached (local
+	// callers with -trace). With neither, qsp is nil and every tracing
+	// call below no-ops without allocating.
+	ctx, qsp := telemetry.StartSpan(ctx, "piersearch.query")
+	if qsp == nil {
+		if tr := s.engine.Node().Tracer(); tr != nil {
+			ctx, qsp = tr.StartRoot(ctx, "piersearch.query")
+		}
+	}
+	if qsp != nil {
+		qsp.SetAttr("q", q.Text)
+		qsp.SetAttr("strategy", q.Strategy.String())
+	}
 	if err := compiled.Root.Open(ctx); err != nil {
 		compiled.Root.Close() //nolint:errcheck // open failed; best-effort release
+		qsp.FinishErr(err)
 		return nil, err
 	}
 	return StreamFromSource(&planSource{
@@ -129,6 +145,8 @@ func (s *Search) QueryContext(ctx context.Context, q Query) (*ResultStream, erro
 		keywords: keywords,
 		compiled: compiled,
 		start:    start,
+		sctx:     ctx,
+		span:     qsp,
 	}), nil
 }
 
@@ -150,6 +168,15 @@ type ExplainSource interface {
 	Explain() string
 }
 
+// TraceSource is implemented by sources that carry distributed trace
+// spans for their query; ResultStream.Trace uses it. Local plans
+// return the spans the node's tracer collected (including those
+// absorbed from remote owners); service streams return the spans the
+// daemon shipped on Done.
+type TraceSource interface {
+	Trace() []telemetry.Span
+}
+
 // StreamFromSource wraps src in the public stream shape.
 func StreamFromSource(src Source) *ResultStream { return &ResultStream{src: src} }
 
@@ -161,6 +188,11 @@ type planSource struct {
 	compiled *plan.CompiledPlan
 	start    time.Time
 	wall     time.Duration // fixed once the stream finishes or closes
+
+	// Tracing state: sctx carries the query span for per-operator span
+	// emission at finish; span is the query span itself (nil = untraced).
+	sctx context.Context
+	span *telemetry.ActiveSpan
 }
 
 func (ps *planSource) Next() (Result, error) {
@@ -186,7 +218,20 @@ func (ps *planSource) Close() error {
 func (ps *planSource) fixWall() {
 	if ps.wall == 0 {
 		ps.wall = time.Since(ps.start)
+		// The query is over: emit the per-operator cost spans and close
+		// the query span. No-ops when untraced.
+		if ps.span != nil {
+			plan.EmitSpans(ps.sctx, ps.compiled.Root)
+			ps.span.Finish()
+		}
 	}
+}
+
+// Trace returns every span the executing node's tracer holds for this
+// query — its own operators, its lookup probes and RPCs, and the spans
+// absorbed from the remote owners that served them. Nil when untraced.
+func (ps *planSource) Trace() []telemetry.Span {
+	return ps.span.Tracer().TraceSpans(ps.span.Trace())
 }
 
 func (ps *planSource) Explain() string { return ps.compiled.Explain() }
@@ -270,4 +315,14 @@ func (rs *ResultStream) Explain() string {
 		return e.Explain()
 	}
 	return ""
+}
+
+// Trace returns the distributed trace spans collected for this query,
+// or nil when tracing was off or the source cannot supply them. Most
+// useful after the stream finishes; render with telemetry.RenderTree.
+func (rs *ResultStream) Trace() []telemetry.Span {
+	if t, ok := rs.src.(TraceSource); ok {
+		return t.Trace()
+	}
+	return nil
 }

@@ -1,0 +1,63 @@
+package plan
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"piersearch/internal/telemetry"
+)
+
+// EmitSpans records one span per operator in the tree rooted at op,
+// wrapping the Stats() contract: each span carries the operator's
+// Describe line (when available) and its accrued per-operator costs as
+// attributes, with span parentage mirroring the tree. Call it after
+// execution finishes (the spans are cost records; the surrounding
+// query span carries the timing). A ctx without a trace makes this a
+// no-op, so untraced queries pay one context lookup.
+func EmitSpans(ctx context.Context, op Operator) {
+	tr, trace, parent, ok := telemetry.FromContext(ctx)
+	if !ok || op == nil {
+		return
+	}
+	emitOp(tr, trace, parent, op)
+}
+
+func emitOp(tr *telemetry.Tracer, trace telemetry.TraceID, parent telemetry.SpanID, op Operator) {
+	sp := tr.StartHandler(trace, parent, opName(op))
+	s := op.Stats()
+	sp.SetAttr("tuples", strconv.Itoa(s.Tuples))
+	if s.Messages > 0 {
+		sp.SetAttr("msgs", strconv.Itoa(s.Messages))
+	}
+	if s.Bytes > 0 {
+		sp.SetAttr("bytes", strconv.Itoa(s.Bytes))
+	}
+	if s.Hops > 0 {
+		sp.SetAttr("hops", strconv.Itoa(s.Hops))
+	}
+	if s.PostingShipped > 0 {
+		sp.SetAttr("postings", strconv.Itoa(s.PostingShipped))
+	}
+	if s.MaxInFlight > 0 {
+		sp.SetAttr("inflight", strconv.Itoa(s.MaxInFlight))
+	}
+	id := sp.ID()
+	sp.Finish()
+	if t, ok := op.(InputsOperator); ok {
+		for _, c := range t.Inputs() {
+			if c != nil {
+				emitOp(tr, trace, id, c)
+			}
+		}
+	}
+}
+
+// opName labels an operator span: the Describe line when the operator
+// has one, its dynamic type otherwise.
+func opName(op Operator) string {
+	if d, ok := op.(Describer); ok {
+		return d.Describe()
+	}
+	return fmt.Sprintf("%T", op)
+}

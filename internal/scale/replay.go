@@ -13,6 +13,7 @@ import (
 	"piersearch/internal/pier"
 	"piersearch/internal/piersearch"
 	"piersearch/internal/simnet"
+	"piersearch/internal/telemetry"
 	"piersearch/internal/trace"
 )
 
@@ -51,6 +52,13 @@ type Config struct {
 	// HotKey parameterises the post-churn hot-key phases (baseline vs
 	// cached Zipf replay). HotKey.Queries == 0 disables them.
 	HotKey HotKeyParams
+
+	// TraceSample records a distributed trace for every TraceSample-th
+	// replayed query (0 disables tracing entirely): non-core nodes get
+	// span rings, sampled queries run under a root span, and the report
+	// carries one TraceSummary per sample. Unsampled queries carry no
+	// trace context and record nothing.
+	TraceSample int
 
 	// RoutingLookups is the number of sampled iterative FindNode lookups
 	// in the routing measurement phase (0 disables it). Targets are
@@ -350,16 +358,34 @@ func Run(cfg Config) (*Report, error) {
 	qHopsH := metrics.NewHistogram(1, 1e4, 40)
 	qFailed, qMatches, qShipped, qHops := 0, 0, 0, 0
 	qFails := map[string]int{}
+	var traces []TraceSummary
+	var originTracers []*telemetry.Tracer
+	if cfg.TraceSample > 0 {
+		originTracers = attachTracers(cl, cfg.StableCore, clock)
+	}
 	cache0 := sumTiers(tiers)
 	err = clock.Run(func() {
 		for i := range queries {
 			i := i
 			clock.Go(func() {
+				origin := i % cfg.StableCore
+				sampled := cfg.TraceSample > 0 && i%cfg.TraceSample == 0
 				start := clock.Now()
-				results, stats, qerr := searches[i%cfg.StableCore].Query(queries[i].Text, cfg.Strategy, cfg.Limit)
+				var results []piersearch.Result
+				var stats piersearch.SearchStats
+				var spans []telemetry.Span
+				var qerr error
+				if sampled {
+					results, stats, spans, qerr = tracedQuery(originTracers[origin], searches[origin], queries[i].Text, cfg.Strategy, cfg.Limit)
+				} else {
+					results, stats, qerr = searches[origin].Query(queries[i].Text, cfg.Strategy, cfg.Limit)
+				}
 				elapsed := clock.Now() - start
 				mu.Lock()
 				defer mu.Unlock()
+				if sampled {
+					traces = append(traces, summarizeTrace(i, queries[i].Text, spans, qerr != nil))
+				}
 				if qerr != nil {
 					qFailed++
 					qFails[classifyFailure(qerr)]++
@@ -394,6 +420,8 @@ func Run(cfg Config) (*Report, error) {
 		Bytes:          bytes2 - bytes1,
 		Cache:          &qCache,
 	}
+	sortTraces(traces)
+	rep.Traces = traces
 
 	// restore drains churn events still queued past the query phase and
 	// reattaches every node — the common precondition of the hot-key and

@@ -22,7 +22,12 @@ import (
 // lookups with hop quantiles plus a routing-table census), per-query hop
 // quantiles, and the churn-survival phase (permanent removals under live
 // republish/refresh maintenance, then re-queries of pre-churn keys).
-const ReportSchema = "piersearch/bench-scale/v3"
+//
+// v4 added distributed trace sampling: every TraceSample-th replayed
+// query runs under a trace root, and the report carries one TraceSummary
+// per sampled query (distinct spans, nodes covered, tree depth, RPC
+// spans) plus the trace_sample config knob.
+const ReportSchema = "piersearch/bench-scale/v4"
 
 // Report is the replay's serializable result. Everything in it derives
 // from virtual-time execution of a seeded config, so the same Config
@@ -39,7 +44,23 @@ type Report struct {
 	Churn          ChurnStats      `json:"churn"`
 	HotKey         *HotKeyStats    `json:"hot_key,omitempty"`
 	Survival       *SurvivalReport `json:"survival,omitempty"`
+	Traces         []TraceSummary  `json:"traces,omitempty"`
 	VirtualSeconds float64         `json:"virtual_seconds"`
+}
+
+// TraceSummary is one sampled query's distributed trace, reduced to the
+// deterministic figures worth committing: how many distinct spans the
+// assembled tree holds, how many nodes it covers, how deep it nests,
+// and how many DHT RPCs it recorded. Index is the query's position in
+// the replayed workload.
+type TraceSummary struct {
+	Index  int    `json:"index"`
+	Query  string `json:"query"`
+	Spans  int    `json:"spans"`
+	Nodes  int    `json:"nodes"`
+	Depth  int    `json:"depth"`
+	RPCs   int    `json:"rpcs"`
+	Failed bool   `json:"failed,omitempty"`
 }
 
 // ConfigStats echoes the replay parameters that shaped the run.
@@ -64,6 +85,7 @@ type ConfigStats struct {
 	HotOrigins    int     `json:"hot_origins"`
 	HotZipfS      float64 `json:"hot_zipf_s"`
 
+	TraceSample        int     `json:"trace_sample"`
 	RoutingLookups     int     `json:"routing_lookups"`
 	SurvivalKeys       int     `json:"survival_keys"`
 	SurvivalRemoveFrac float64 `json:"survival_remove_frac"`
@@ -245,6 +267,7 @@ func newReport(cfg Config, tr *trace.Trace) *Report {
 			HotOrigins:    cfg.HotKey.Origins,
 			HotZipfS:      cfg.HotKey.ZipfS,
 
+			TraceSample:        cfg.TraceSample,
 			RoutingLookups:     cfg.RoutingLookups,
 			SurvivalKeys:       cfg.Survival.Keys,
 			SurvivalRemoveFrac: cfg.Survival.RemoveFrac,

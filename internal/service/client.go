@@ -11,6 +11,7 @@ import (
 
 	"piersearch/internal/piersearch"
 	"piersearch/internal/plan"
+	"piersearch/internal/telemetry"
 	"piersearch/internal/wire"
 )
 
@@ -29,6 +30,12 @@ type Client struct {
 	// Window is the per-query receive window in batch frames: how far the
 	// daemon may run ahead of this consumer (default wire.DefaultWindow).
 	Window int
+	// Tracer, when set, traces every query: a root span is minted per
+	// Query call, its context ships in the OpenQuery envelope, and the
+	// spans the daemon collected (its own, the plan's, the owners')
+	// arrive back on Done — ResultStream.Trace returns the assembled
+	// set. Nil disables tracing at zero cost.
+	Tracer *telemetry.Tracer
 
 	mu  sync.Mutex
 	mux *wire.Mux // owns its connection; failure closes it
@@ -94,11 +101,28 @@ func (c *Client) Query(ctx context.Context, q piersearch.Query) (*piersearch.Res
 	if err != nil {
 		return nil, err
 	}
-	st, err := m.Open(EncodeOpenQuery(fromQuery(q)), c.window())
+	// Trace: continue a span already in ctx, or mint a root trace when
+	// the client has a tracer. The IDs ride in the OpenQuery envelope so
+	// the daemon's spans parent under ours.
+	open := fromQuery(q)
+	_, qspan := telemetry.StartSpan(ctx, "query")
+	if qspan == nil && c.Tracer != nil {
+		_, qspan = c.Tracer.StartRoot(ctx, "query")
+	}
+	if qspan != nil {
+		qspan.SetAttr("q", q.Text)
+		qspan.SetAttr("daemon", c.addr)
+		open.TraceID, open.SpanID = qspan.Trace(), qspan.ID()
+	}
+	st, err := m.Open(EncodeOpenQuery(open), c.window())
 	if err != nil {
+		qspan.FinishErr(err)
 		return nil, fmt.Errorf("service: open query stream: %w", err)
 	}
 	src := &remoteSource{ctx: ctx, st: st, start: time.Now(), strategy: q.Strategy}
+	if qspan != nil {
+		src.span, src.tracer, src.trace = qspan, qspan.Tracer(), qspan.Trace()
+	}
 	// A canceled caller context tells the daemon to stop: Cancel for an
 	// orderly end, then reset so even a daemon stuck producing observes it.
 	src.stopCancel = context.AfterFunc(ctx, func() {
@@ -174,6 +198,13 @@ type remoteSource struct {
 	explain string
 	gotDone bool
 	done    bool
+
+	// span is the client-side query span (nil = untraced); finished when
+	// the stream ends. The daemon's spans arriving on Done are absorbed
+	// into the tracer's ring so Trace() can assemble the full tree.
+	span   *telemetry.ActiveSpan
+	tracer *telemetry.Tracer
+	trace  telemetry.TraceID
 }
 
 // Next returns the next result, pulling and acknowledging batch frames as
@@ -204,6 +235,11 @@ func (s *remoteSource) Next() (piersearch.Result, error) {
 			s.done, s.gotDone = true, true
 			s.stats = m.Stats
 			s.explain = m.Explain
+			if s.span != nil {
+				s.span.Tracer().Absorb(m.Spans)
+				s.span.Finish()
+				s.span = nil
+			}
 		case *Error:
 			s.done = true
 			if m.Code == CodeCanceled {
@@ -233,7 +269,21 @@ func (s *remoteSource) terminalError(err error) error {
 // it on the daemon.
 func (s *remoteSource) Close() error {
 	s.stopCancel()
+	if s.span != nil {
+		s.span.Finish()
+		s.span = nil
+	}
 	return s.st.Close()
+}
+
+// Trace returns the spans collected for this query: the client's own
+// root span plus everything the daemon shipped on Done. Nil when the
+// query is untraced.
+func (s *remoteSource) Trace() []telemetry.Span {
+	if s.tracer == nil || s.trace == 0 {
+		return nil
+	}
+	return s.tracer.TraceSpans(s.trace)
 }
 
 // Stats reports the daemon's final figures once Done arrives; before

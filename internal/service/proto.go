@@ -7,6 +7,7 @@ import (
 	"piersearch/internal/codec"
 	"piersearch/internal/pier"
 	"piersearch/internal/piersearch"
+	"piersearch/internal/telemetry"
 )
 
 // Version is the protocol version this build speaks. Requests carrying
@@ -15,7 +16,11 @@ import (
 // Version 2 added the hot-key tier counters (CacheHits, Coalesced,
 // FanoutReads) to the Done stats and the RetryAfterMs backoff hint to
 // MsgError frames.
-const Version = 2
+//
+// Version 3 added distributed tracing: OpenQuery carries the client's
+// trace context (trace + parent span IDs, zero when untraced) and Done
+// carries the span records the daemon collected for the query.
+const Version = 3
 
 // Message kinds: the first byte of every stream payload.
 const (
@@ -109,6 +114,12 @@ type OpenQuery struct {
 	Strategy piersearch.Strategy
 	Limit    int
 	Workers  int
+
+	// TraceID/SpanID carry the client's trace context so the daemon's
+	// spans (and those of the owners it probes) parent under the
+	// client's query span. Zero means the query is untraced.
+	TraceID telemetry.TraceID
+	SpanID  telemetry.SpanID
 }
 
 // PublishReq is the body of MsgPublish.
@@ -124,10 +135,13 @@ type Batch struct {
 }
 
 // Done is the body of MsgDone: the query's final cost figures plus the
-// executed plan's per-operator cost profile.
+// executed plan's per-operator cost profile and, for traced queries,
+// the span records the daemon collected (its own plus those absorbed
+// from the owners it probed).
 type Done struct {
 	Stats   piersearch.SearchStats
 	Explain string
+	Spans   []telemetry.Span
 }
 
 // ExplainResult is the body of MsgExplainResult.
@@ -154,7 +168,8 @@ func appendQuery(dst []byte, kind byte, q OpenQuery) []byte {
 	dst = codec.AppendString(dst, q.Text)
 	dst = append(dst, byte(q.Strategy))
 	dst = codec.AppendUvarint(dst, uint64(q.Limit))
-	return codec.AppendUvarint(dst, uint64(q.Workers))
+	dst = codec.AppendUvarint(dst, uint64(q.Workers))
+	return telemetry.AppendTraceContext(dst, q.TraceID, q.SpanID)
 }
 
 // EncodeOpenQuery frames q as a MsgOpenQuery payload.
@@ -197,10 +212,12 @@ func readSearchStats(r *codec.Reader) piersearch.SearchStats {
 	return s
 }
 
-// EncodeDone frames the final stats and executed-plan profile.
+// EncodeDone frames the final stats, executed-plan profile and trace
+// spans.
 func EncodeDone(d Done) []byte {
 	dst := appendSearchStats([]byte{MsgDone}, d.Stats)
-	return codec.AppendString(dst, d.Explain)
+	dst = codec.AppendString(dst, d.Explain)
+	return telemetry.AppendSpans(dst, d.Spans)
 }
 
 // EncodeError frames a typed error.
@@ -252,6 +269,7 @@ func Decode(payload []byte) (any, error) {
 		q := OpenQuery{Version: r.Byte(), Text: r.String(), Strategy: piersearch.Strategy(r.Byte())}
 		q.Limit = int(r.Uvarint())
 		q.Workers = int(r.Uvarint())
+		q.TraceID, q.SpanID = telemetry.ReadTraceContext(r)
 		if err := r.Finish(); err != nil {
 			return nil, err
 		}
@@ -290,6 +308,7 @@ func Decode(payload []byte) (any, error) {
 	case MsgDone:
 		d := &Done{Stats: readSearchStats(r)}
 		d.Explain = r.String()
+		d.Spans = telemetry.ReadSpans(r)
 		if err := r.Finish(); err != nil {
 			return nil, err
 		}

@@ -66,7 +66,8 @@ func TestDoneErrorPublishRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *(got.(*Done)) != d {
+	gd := got.(*Done)
+	if gd.Stats != d.Stats || gd.Explain != d.Explain || len(gd.Spans) != 0 {
 		t.Errorf("done round trip = %+v, want %+v", got, d)
 	}
 

@@ -10,6 +10,7 @@ import (
 
 	"piersearch/internal/piersearch"
 	"piersearch/internal/plan"
+	"piersearch/internal/telemetry"
 	"piersearch/internal/wire"
 )
 
@@ -37,7 +38,22 @@ type Options struct {
 	// PerClientQPS.
 	PerClientBurst int
 	// Logf, if set, receives one line per refused or failed query.
+	// Retained as a source-compatible adapter: NewServer wraps it into
+	// Logger when Logger is unset.
 	Logf func(format string, args ...any)
+	// Logger receives structured operational events (refusals, failed
+	// queries). When nil, one is derived from Logf; with both unset the
+	// daemon is silent.
+	Logger *telemetry.Logger
+	// Tracer, when set, records the daemon's side of distributed query
+	// traces: one span per traced stream, parented under the client's
+	// span, with the executor's plan/probe/RPC spans beneath it. The
+	// spans collected for a traced query ship back on Done.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, registers the daemon's service.* instruments
+	// (admission, shed, per-code errors, TTFR) and the shared wire.mux.*
+	// counters for every client session.
+	Metrics *telemetry.Registry
 }
 
 func (o Options) maxQueries() int {
@@ -59,10 +75,15 @@ func (o Options) batchSize() int {
 	return o.BatchSize
 }
 
-func (o Options) logf(format string, args ...any) {
-	if o.Logf != nil {
-		o.Logf(format, args...)
+// logger unifies the two logging options: Logger wins, Logf is wrapped.
+func (o Options) logger() *telemetry.Logger {
+	if o.Logger != nil {
+		return o.Logger
 	}
+	if o.Logf != nil {
+		return telemetry.NewLogger(telemetry.LogfSink(o.Logf), telemetry.LevelDebug)
+	}
+	return nil
 }
 
 // tokenBucket is the per-connection admission bucket behind PerClientQPS.
@@ -131,6 +152,9 @@ type Server struct {
 	opts   Options
 	ln     net.Listener
 	sem    chan struct{}
+	log    *telemetry.Logger
+	met    serverMetrics
+	muxMet *wire.MuxMetrics
 
 	wg     sync.WaitGroup
 	mu     sync.Mutex
@@ -138,17 +162,53 @@ type Server struct {
 	muxes  map[*wire.Mux]bool
 }
 
+// serverMetrics holds the daemon's pre-resolved instruments; the zero
+// value (no registry) is all nil, which no-ops.
+type serverMetrics struct {
+	reg        *telemetry.Registry
+	queries    *telemetry.Counter
+	admitted   *telemetry.Counter
+	shed       *telemetry.Counter
+	shedClient *telemetry.Counter
+	publishes  *telemetry.Counter
+	ttfr       *telemetry.Histogram // ns from admission to first result flushed
+}
+
+// errCode resolves the per-code error counter; label-shaped variation
+// lives in the metric name ("service.errors.overloaded").
+func (m *serverMetrics) errCode(c Code) *telemetry.Counter {
+	if m.reg == nil {
+		return nil
+	}
+	return m.reg.Counter("service.errors." + c.String())
+}
+
 // NewServer builds a daemon serving search (required) and pub (optional:
 // nil refuses Publish requests) on ln.
 func NewServer(ln net.Listener, search *piersearch.Search, pub *piersearch.Publisher, opts Options) *Server {
-	return &Server{
+	s := &Server{
 		search: search,
 		pub:    pub,
 		opts:   opts,
 		ln:     ln,
 		sem:    make(chan struct{}, opts.maxQueries()),
+		log:    opts.logger(),
 		muxes:  make(map[*wire.Mux]bool),
 	}
+	if reg := opts.Metrics; reg != nil {
+		s.met = serverMetrics{
+			reg:        reg,
+			queries:    reg.Counter("service.queries"),
+			admitted:   reg.Counter("service.admitted"),
+			shed:       reg.Counter("service.shed.global"),
+			shedClient: reg.Counter("service.shed.per_client"),
+			publishes:  reg.Counter("service.publishes"),
+			ttfr:       reg.Histogram("service.ttfr_ns"),
+		}
+		reg.Gauge("service.active_queries", func() int64 { return int64(len(s.sem)) })
+		s.muxMet = wire.RegisterMuxMetrics(reg)
+	}
+	return s
 }
 
 // Addr returns the daemon's listening address.
@@ -194,6 +254,7 @@ func (s *Server) Serve() error {
 			defer s.wg.Done()
 			s.handleStream(st, opening, bucket)
 		})
+		m.SetMetrics(s.muxMet)
 		s.muxes[m] = true
 		// Ordered against Close's Wait while still under s.mu, like the
 		// stream-handler Add above.
@@ -229,6 +290,7 @@ func (s *Server) Close() {
 // sendError best-effort ships a typed error and ends the stream. Bounded:
 // a vanished peer must not pin the handler on a starved Send.
 func (s *Server) sendError(st *wire.Stream, e *Error) {
+	s.met.errCode(e.Code).Inc()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	st.Send(ctx, EncodeError(e)) //nolint:errcheck // peer may be gone
@@ -256,7 +318,7 @@ func (s *Server) handleStream(st *wire.Stream, opening []byte, bucket *tokenBuck
 	}
 	msg, err := Decode(opening)
 	if err != nil {
-		s.opts.logf("service: bad request: %v", err)
+		s.log.Warn("service: bad request", "err", err)
 		s.sendError(st, &Error{Code: CodeBadRequest, Msg: err.Error()})
 		return
 	}
@@ -267,7 +329,8 @@ func (s *Server) handleStream(st *wire.Stream, opening []byte, bucket *tokenBuck
 	switch msg.(type) {
 	case *OpenQuery, *PublishReq:
 		if ok, wait := bucket.take(); !ok {
-			s.opts.logf("service: request refused: client over %d req/s", s.opts.PerClientQPS)
+			s.met.shedClient.Inc()
+			s.log.Warn("service: request refused: client over rate", "limit_qps", s.opts.PerClientQPS)
 			s.sendError(st, &Error{Code: CodeOverloaded, RetryAfterMs: retryAfterMs(wait),
 				Msg: fmt.Sprintf("client exceeds %d requests/s; retry after %dms", s.opts.PerClientQPS, retryAfterMs(wait))})
 			return
@@ -308,19 +371,33 @@ func classify(err error) *Error {
 // and cost profile.
 func (s *Server) handleQuery(st *wire.Stream, m *OpenQuery) {
 	defer st.Close()
+	s.met.queries.Inc()
 	select {
 	case s.sem <- struct{}{}:
 		defer func() { <-s.sem }()
 	default:
-		s.opts.logf("service: query %q refused: %d queries already running", m.Text, cap(s.sem))
+		s.met.shed.Inc()
+		s.log.Warn("service: query refused: at concurrency limit", "q", m.Text, "limit", cap(s.sem))
 		s.sendError(st, &Error{Code: CodeOverloaded, Msg: fmt.Sprintf("daemon at its limit of %d concurrent queries", cap(s.sem))})
 		return
 	}
+	s.met.admitted.Inc()
+	admitted := time.Now()
 
 	// The query context ends when the client cancels (MsgCancel or stream
 	// reset), the connection dies, or this handler returns.
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	// Traced query: the daemon's stream span parents under the client's
+	// span from the OpenQuery envelope; QueryContext and everything
+	// below it (plan operators, lookup probes, RPCs to owners) nest
+	// beneath it via ctx.
+	var qspan *telemetry.ActiveSpan
+	if m.TraceID != 0 && s.opts.Tracer != nil {
+		ctx, qspan = s.opts.Tracer.StartRemote(ctx, m.TraceID, m.SpanID, "service.query")
+		qspan.SetAttr("q", m.Text)
+	}
 	watchDone := make(chan struct{})
 	go func() {
 		defer close(watchDone)
@@ -343,11 +420,12 @@ func (s *Server) handleQuery(st *wire.Stream, m *OpenQuery) {
 
 	rs, err := s.search.QueryContext(ctx, toQuery(m))
 	if err != nil {
+		qspan.FinishErr(err)
 		if ctx.Err() == nil {
 			// Compile failures carry ErrInvalidQuery → bad-request; a plan
 			// whose Open died executing the match phase is the daemon's
 			// problem → internal, so the client knows a retry can help.
-			s.opts.logf("service: query %q failed to open: %v", m.Text, err)
+			s.log.Warn("service: query failed to open", "q", m.Text, "err", err)
 			s.sendError(st, classify(err))
 		}
 		return
@@ -377,8 +455,10 @@ func (s *Server) handleQuery(st *wire.Stream, m *OpenQuery) {
 			break
 		}
 		if err != nil {
+			qspan.FinishErr(err)
+			qspan = nil
 			if ctx.Err() == nil {
-				s.opts.logf("service: query %q died mid-stream: %v", m.Text, err)
+				s.log.Warn("service: query died mid-stream", "q", m.Text, "err", err)
 				flush() //nolint:errcheck // stream already failing
 				s.sendError(st, classify(err))
 			}
@@ -393,15 +473,28 @@ func (s *Server) handleQuery(st *wire.Stream, m *OpenQuery) {
 		// limit, where an oversized payload would kill the query.
 		if first || len(pending) >= batchSize || pendingBytes >= maxBatchBytes {
 			if flush() != nil {
+				qspan.FinishErr(ctx.Err())
 				return
+			}
+			if first {
+				s.met.ttfr.Observe(int64(time.Since(admitted)))
 			}
 			first = false
 		}
 	}
 	if flush() != nil {
+		qspan.FinishErr(ctx.Err())
 		return
 	}
+	// Close the stream's span before collecting: the ring must hold it
+	// for the client's tree to have a daemon-side root under its own
+	// span. rs.Close ran implicitly when Next returned ErrDone (the plan
+	// source fixes its wall clock and emits operator spans there).
 	done := Done{Stats: rs.Stats(), Explain: rs.Explain()}
+	if qspan != nil {
+		qspan.Finish()
+		done.Spans = s.opts.Tracer.TraceSpans(m.TraceID)
+	}
 	if st.Send(ctx, EncodeDone(done)) != nil {
 		return
 	}
@@ -428,6 +521,7 @@ func (s *Server) handleExplain(st *wire.Stream, m *ExplainQuery) {
 // handlePublish indexes one file through the daemon's publisher.
 func (s *Server) handlePublish(st *wire.Stream, m *PublishReq) {
 	defer st.Close()
+	s.met.publishes.Inc()
 	if s.pub == nil {
 		s.sendError(st, &Error{Code: CodeBadRequest, Msg: "daemon does not accept publishes"})
 		return

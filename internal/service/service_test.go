@@ -391,9 +391,9 @@ func TestVersionRefused(t *testing.T) {
 		t.Fatalf("version-99 answer = %#v, want CodeVersion error", msg)
 	}
 
-	// A future version whose body layout v2 cannot even parse must still
+	// A future version whose body layout v3 cannot even parse must still
 	// get CodeVersion — the version byte's offset is the invariant.
-	future := append(service.EncodeOpenQuery(service.OpenQuery{Version: 3, Text: "x"}), 0xAA, 0xBB)
+	future := append(service.EncodeOpenQuery(service.OpenQuery{Version: 4, Text: "x"}), 0xAA, 0xBB)
 	st2, err := m.Open(future, 4)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,143 @@
+package service_test
+
+import (
+	"context"
+	"testing"
+
+	"piersearch/internal/piersearch"
+	"piersearch/internal/service"
+	"piersearch/internal/telemetry"
+)
+
+// TestDistributedTraceEndToEnd pins the tentpole acceptance: a traced
+// client query over real TCP comes back with a trace tree spanning the
+// client, the daemon executor, and the remote keyword/item owners, with
+// every parent/child edge intact across the client -> daemon -> owner
+// hops.
+func TestDistributedTraceEndToEnd(t *testing.T) {
+	daemonTracer := telemetry.NewTracer("daemon")
+	e := newEnv(t, 10, 12, service.Options{Tracer: daemonTracer})
+	// The daemon executes on node 0: its dht node must record RPC spans
+	// into the same ring the service ships at Done. Every other node
+	// gets its own tracer so serve-side spans piggyback home.
+	e.engines[0].Node().SetTracer(daemonTracer)
+	for i := 1; i < len(e.engines); i++ {
+		n := e.engines[i].Node()
+		n.SetTracer(telemetry.NewTracer(n.Info().Addr))
+	}
+
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+	client.Tracer = telemetry.NewTracer("client")
+
+	rs, err := client.Query(context.Background(), piersearch.Query{
+		Text: "common stream", Strategy: piersearch.StrategyJoin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := drain(t, rs)
+	spans := rs.Trace()
+	rs.Close()
+	if len(results) != 12 {
+		t.Fatalf("%d results, want 12", len(results))
+	}
+	if len(spans) == 0 {
+		t.Fatal("traced query returned no spans")
+	}
+
+	// Dedup: piggy-backed snapshots may carry a span twice.
+	byID := make(map[telemetry.SpanID]telemetry.Span)
+	for _, s := range spans {
+		if _, dup := byID[s.ID]; !dup {
+			byID[s.ID] = s
+		}
+	}
+
+	// One root: the client-side "query" span.
+	var roots []telemetry.Span
+	for _, s := range byID {
+		if _, ok := byID[s.Parent]; !ok {
+			roots = append(roots, s)
+		}
+	}
+	if len(roots) != 1 {
+		t.Fatalf("trace has %d roots, want 1 (spans with missing parents break the tree):\n%s",
+			len(roots), telemetry.RenderTree(spans))
+	}
+	root := roots[0]
+	if root.Name != "query" || root.Node != "client" || root.Parent != 0 {
+		t.Fatalf("root = %+v, want client query span", root)
+	}
+
+	// The daemon's handler span hangs directly off the client root.
+	var svc telemetry.Span
+	for _, s := range byID {
+		if s.Name == "service.query" {
+			svc = s
+		}
+	}
+	if svc.ID == 0 || svc.Parent != root.ID || svc.Node != "daemon" {
+		t.Fatalf("service.query = %+v, want child of root %x on daemon", svc, root.ID)
+	}
+
+	// Every serve-side span recorded on a remote owner must parent to a
+	// daemon-side dht.rpc span — that's the cross-node edge.
+	owners := map[string]bool{}
+	serves := 0
+	for _, s := range byID {
+		if len(s.Name) < 6 || s.Name[:6] != "serve." {
+			continue
+		}
+		serves++
+		p, ok := byID[s.Parent]
+		if !ok || p.Name != "dht.rpc" {
+			t.Errorf("serve span %q on %s parents to %+v, want a dht.rpc span", s.Name, s.Node, p)
+		}
+		if s.Node != "daemon" {
+			owners[s.Node] = true
+		}
+	}
+	if serves == 0 {
+		t.Fatal("no serve-side spans made it back to the client")
+	}
+	if len(owners) < 2 {
+		t.Fatalf("trace covers %d remote owners, want >= 2:\n%s", len(owners), telemetry.RenderTree(spans))
+	}
+
+	// ISSUE acceptance: client + daemon + >= 2 remote owners.
+	if n := telemetry.TraceNodes(spans); n < 4 {
+		t.Fatalf("trace covers %d distinct nodes, want >= 4:\n%s", n, telemetry.RenderTree(spans))
+	}
+	if d := telemetry.TraceDepth(spans); d < 4 {
+		t.Fatalf("trace depth %d, want >= 4 (query -> service.query -> dht.rpc -> serve.*):\n%s",
+			d, telemetry.RenderTree(spans))
+	}
+	t.Logf("trace: %d spans, %d nodes, depth %d\n%s",
+		len(byID), telemetry.TraceNodes(spans), telemetry.TraceDepth(spans), telemetry.RenderTree(spans))
+}
+
+// TestUntracedClientShipsNoSpans: without a client tracer the wire
+// carries the zero trace context and Done ships no spans, even when the
+// daemon itself has tracing enabled.
+func TestUntracedClientShipsNoSpans(t *testing.T) {
+	daemonTracer := telemetry.NewTracer("daemon")
+	e := newEnv(t, 4, 4, service.Options{Tracer: daemonTracer})
+	e.engines[0].Node().SetTracer(daemonTracer)
+
+	client := service.Dial(e.daemon.Addr())
+	defer client.Close()
+
+	rs, err := client.Query(context.Background(), piersearch.Query{
+		Text: "common stream", Strategy: piersearch.StrategyCache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, rs)
+	spans := rs.Trace()
+	rs.Close()
+	if len(spans) != 0 {
+		t.Fatalf("untraced query shipped %d spans", len(spans))
+	}
+}

@@ -60,6 +60,13 @@ func (d *Disk) compactLoop() {
 // output, so replay order is preserved if the process dies at any point.
 // One compaction runs at a time; concurrent callers serialize.
 func (d *Disk) Compact(now time.Duration) error {
+	sp := d.startSpan("store.compact")
+	err := d.compact(now)
+	sp.FinishErr(err)
+	return err
+}
+
+func (d *Disk) compact(now time.Duration) error {
 	d.compactMu.Lock()
 	defer d.compactMu.Unlock()
 	if d.closed.Load() {
@@ -240,7 +247,11 @@ func (d *Disk) dropInputs(inputs map[uint64]*logFile, outBytes int64, outValues 
 			d.logf("store: compact remove %s: %v", in.path, err)
 		}
 	}
-	d.logf("store: compacted %d logs (%d bytes) into %d bytes, %d live values",
-		len(inputs), reclaimed, outBytes, outValues)
+	d.met.compactions.Inc()
+	if freed := reclaimed - outBytes; freed > 0 {
+		d.met.reclaimed.Add(freed)
+	}
+	d.opts.Logger.Info("store: compacted segments",
+		"logs", len(inputs), "in_bytes", reclaimed, "out_bytes", outBytes, "live_values", outValues)
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 
 	"piersearch/internal/codec"
 	"piersearch/internal/dht"
+	"piersearch/internal/telemetry"
 )
 
 // indexShards mirrors the stripe count of the in-memory store: keys are
@@ -51,8 +53,18 @@ type Options struct {
 	// Open.
 	Now func() time.Duration
 	// Logf, when set, receives operational log lines (recovery summary,
-	// compaction results, commit errors). nil silences them.
+	// compaction results, commit errors). nil silences them. Superseded
+	// by Logger; when both are set, Logger wins. Kept for source compat.
 	Logf func(format string, args ...any)
+	// Logger receives the store's structured log events. When nil, one
+	// is derived from Logf (or logging is off if that is nil too).
+	Logger *telemetry.Logger
+	// Tracer, when set, records a span per group commit and per
+	// compaction run into its ring, each as its own root trace.
+	Tracer *telemetry.Tracer
+	// Metrics, when set, receives the store's counters and gauges
+	// (store.wal.*, store.compact.*, store.live_bytes, ...).
+	Metrics *telemetry.Registry
 }
 
 func (o Options) normalize() Options {
@@ -68,6 +80,9 @@ func (o Options) normalize() Options {
 	if o.Now == nil {
 		start := time.Now()
 		o.Now = func() time.Duration { return time.Since(start) }
+	}
+	if o.Logger == nil && o.Logf != nil {
+		o.Logger = telemetry.NewLogger(telemetry.LogfSink(o.Logf), telemetry.LevelDebug)
 	}
 	return o
 }
@@ -167,6 +182,7 @@ type Disk struct {
 
 	liveBytes atomic.Int64
 	recovery  Recovery
+	met       diskMetrics
 }
 
 type rotateRes struct {
@@ -206,6 +222,7 @@ func Open(dir string, opts Options) (*Disk, error) {
 		unlockDir(lock) //nolint:errcheck // already failing
 		return nil, err
 	}
+	d.registerMetrics(opts.Metrics)
 	d.wg.Add(2)
 	go d.committer()
 	go d.compactLoop()
@@ -213,9 +230,7 @@ func Open(dir string, opts Options) (*Disk, error) {
 }
 
 func (d *Disk) logf(format string, args ...any) {
-	if d.opts.Logf != nil {
-		d.opts.Logf(format, args...)
-	}
+	d.opts.Logger.Logf(format, args...)
 }
 
 func (d *Disk) shard(key dht.ID) *indexShard {
@@ -364,9 +379,9 @@ func (d *Disk) load() error {
 		}
 	}
 	if d.recovery.Files > 0 {
-		d.logf("store: recovered %d values from %d records across %d logs (%d torn tails, %d bytes truncated)",
-			d.recovery.Values, d.recovery.Records, d.recovery.Files,
-			d.recovery.TornFiles, d.recovery.TruncatedBytes)
+		d.opts.Logger.Info("store: recovery complete",
+			"values", d.recovery.Values, "records", d.recovery.Records, "logs", d.recovery.Files,
+			"torn_tails", d.recovery.TornFiles, "truncated_bytes", d.recovery.TruncatedBytes)
 	}
 
 	active, err := d.createLog(d.nextSeq)
@@ -751,16 +766,30 @@ func (d *Disk) commitBatch(batch []*commitReq, buf []byte) []byte {
 		}
 		return buf
 	}
+	sp := d.startSpan("store.commit")
+	if sp != nil {
+		sp.SetAttr("records", strconv.Itoa(len(batch)))
+	}
 	active := d.active
 	base := active.size.Load()
 	for _, r := range batch {
 		r.off = base + int64(len(buf))
 		buf = append(buf, r.rec...)
 	}
+	if sp != nil {
+		sp.SetAttr("bytes", strconv.Itoa(len(buf)))
+	}
 	n, err := active.f.Write(buf)
 	if err == nil && d.opts.Sync {
 		err = active.f.Sync()
+		d.met.fsyncs.Inc()
 	}
+	d.met.commits.Inc()
+	d.met.records.Add(int64(len(batch)))
+	if err != nil {
+		d.met.commitErrors.Inc()
+	}
+	sp.FinishErr(err)
 	if err != nil && n > 0 {
 		// A partial record now sits at base. Replay stops at the first
 		// torn record, so if it stays in front of later commits those
@@ -805,6 +834,8 @@ func (d *Disk) rollbackTo(active *logFile, base int64) error {
 // Committer goroutine only.
 func (d *Disk) rotate() {
 	old := d.active
+	d.met.rotates.Inc()
+	d.met.fsyncs.Inc()
 	if err := old.f.Sync(); err != nil {
 		d.logf("store: sync before seal: %v", err)
 	}

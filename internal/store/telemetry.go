@@ -1,0 +1,55 @@
+package store
+
+import (
+	"context"
+
+	"piersearch/internal/telemetry"
+)
+
+// diskMetrics holds the store's counters, resolved once at Open against
+// the configured registry. Every field is nil-safe, so an unmetered
+// store pays one nil check per event.
+type diskMetrics struct {
+	commits      *telemetry.Counter // group commits written
+	records      *telemetry.Counter // records across all commits
+	commitErrors *telemetry.Counter
+	fsyncs       *telemetry.Counter // explicit fsyncs (Sync mode, seals, Close)
+	rotates      *telemetry.Counter // WAL seals
+	compactions  *telemetry.Counter // completed compaction runs
+	reclaimed    *telemetry.Counter // bytes of dead log space reclaimed
+}
+
+// registerMetrics resolves the store's counters and gauges. Gauges read
+// the Disk's own atomic accounting, so sampling them takes no locks.
+func (d *Disk) registerMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	d.met = diskMetrics{
+		commits:      reg.Counter("store.wal.commits"),
+		records:      reg.Counter("store.wal.records"),
+		commitErrors: reg.Counter("store.wal.commit_errors"),
+		fsyncs:       reg.Counter("store.wal.fsyncs"),
+		rotates:      reg.Counter("store.wal.rotates"),
+		compactions:  reg.Counter("store.compact.runs"),
+		reclaimed:    reg.Counter("store.compact.reclaimed_bytes"),
+	}
+	reg.Gauge("store.live_bytes", func() int64 { return d.liveBytes.Load() })
+	reg.Gauge("store.disk_bytes", func() int64 { return d.DiskSize() })
+	reg.Gauge("store.segments", func() int64 { return int64(d.Segments()) })
+	reg.Gauge("store.keys", func() int64 { return int64(d.Len()) })
+	reg.Gauge("store.values", func() int64 { return int64(d.ValueCount()) })
+}
+
+// startSpan opens a root span for a store-internal operation (a group
+// commit, a compaction run). Store work runs on background goroutines
+// with no query context, so each operation is its own trace; the ring
+// keeps the most recent ones for /traces. Returns nil when untraced.
+func (d *Disk) startSpan(name string) *telemetry.ActiveSpan {
+	tr := d.opts.Tracer
+	if tr == nil {
+		return nil
+	}
+	_, sp := tr.StartRoot(context.Background(), name)
+	return sp
+}

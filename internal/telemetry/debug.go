@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+// Handler serves the debug plane: /metrics (text exposition from reg),
+// /traces and /traces/<id> (span ring from tr), /healthz, and
+// /debug/pprof/*. Nil reg or tr disable the respective endpoints with
+// a 404 rather than a panic.
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		reg.WriteText(w)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		ids := tr.TraceIDs()
+		if len(ids) == 0 {
+			fmt.Fprintln(w, "(no traces recorded)")
+			return
+		}
+		for _, id := range ids {
+			fmt.Fprintf(w, "%016x  %d spans\n", uint64(id), len(tr.TraceSpans(id)))
+		}
+	})
+	mux.HandleFunc("/traces/", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.NotFound(w, r)
+			return
+		}
+		raw := strings.TrimPrefix(r.URL.Path, "/traces/")
+		id, err := strconv.ParseUint(raw, 16, 64)
+		if err != nil || id == 0 {
+			http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+			return
+		}
+		spans := tr.TraceSpans(TraceID(id))
+		if len(spans) == 0 {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, RenderTree(spans))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenDebug binds addr and serves Handler(reg, tr) on it in a
+// background goroutine. It returns the bound listener (addr may use
+// port 0) and a shutdown func.
+func ListenDebug(addr string, reg *Registry, tr *Tracer) (net.Listener, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: Handler(reg, tr)}
+	go srv.Serve(ln)
+	return ln, func() { srv.Close() }, nil
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+	body, _ := io.ReadAll(rec.Result().Body)
+	return rec.Code, string(body)
+}
+
+func TestDebugHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dht.rpc.out.ping").Add(7)
+	tr, _ := newTestTracer("node-a")
+	_, sp := tr.StartRoot(context.Background(), "query")
+	sp.Finish()
+	h := Handler(reg, tr)
+
+	if code, body := get(t, h, "/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, body := get(t, h, "/metrics"); code != 200 || !strings.Contains(body, "dht.rpc.out.ping 7") {
+		t.Fatalf("metrics: %d %q", code, body)
+	}
+	code, body := get(t, h, "/traces")
+	if code != 200 || !strings.Contains(body, "1 spans") {
+		t.Fatalf("traces: %d %q", code, body)
+	}
+	id := strings.Fields(body)[0]
+	if code, body := get(t, h, "/traces/"+id); code != 200 || !strings.Contains(body, "query @node-a") {
+		t.Fatalf("trace tree: %d %q", code, body)
+	}
+	if code, _ := get(t, h, "/traces/zzz"); code != http.StatusBadRequest {
+		t.Fatalf("bad trace id: %d", code)
+	}
+	if code, _ := get(t, h, fmt.Sprintf("/traces/%016x", uint64(0xdead))); code != http.StatusNotFound {
+		t.Fatalf("unknown trace id: %d", code)
+	}
+	if code, _ := get(t, h, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline: %d", code)
+	}
+
+	// Disabled planes 404 instead of panicking.
+	none := Handler(nil, nil)
+	for _, path := range []string{"/metrics", "/traces", "/traces/1"} {
+		if code, _ := get(t, none, path); code != http.StatusNotFound {
+			t.Fatalf("%s with nil plane: %d", path, code)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"piersearch/internal/codec"
+)
+
+// FuzzDecodeSpans throws arbitrary bytes at the trailing telemetry
+// blocks (trace-context + span list) exactly as a daemon decodes a
+// frame from an untrusted peer: the decoder must never panic, never
+// allocate unbounded memory, and anything it accepts must re-encode to
+// a decodable frame.
+func FuzzDecodeSpans(f *testing.F) {
+	// Seed with well-formed frames covering the interesting shapes.
+	f.Add([]byte{})  // legacy frame: no trailing block at all
+	f.Add([]byte{0}) // untraced context, no spans
+
+	ctx := AppendTraceContext(nil, 42, 7)
+	f.Add(append(append([]byte{}, ctx...), codec.AppendUvarint(nil, 0)...))
+
+	spans := []Span{
+		{Trace: 42, ID: 9, Parent: 7, Name: "serve.get", Node: "127.0.0.1:9001",
+			Start: time.Millisecond, Dur: 50 * time.Microsecond,
+			Attrs: []Attr{{Key: "kind", Val: "get"}}},
+		{Trace: 42, ID: 10, Parent: 9, Name: "store.commit", Node: "127.0.0.1:9001",
+			Err: "disk full"},
+	}
+	f.Add(AppendSpans(AppendTraceContext(nil, 42, 7), spans))
+
+	// Hostile-ish seeds steering the fuzzer at validation branches.
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}) // zero trace id
+	f.Add([]byte{0, 0xff, 0xff, 0xff, 0xff, 0x7f})                   // absurd span count
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := codec.NewReader(data)
+		trace, span := ReadTraceContext(r)
+		got := ReadSpans(r)
+		if r.Err() != nil {
+			return
+		}
+		if trace == 0 && span != 0 {
+			t.Fatalf("untraced context carried span id %x", span)
+		}
+		if len(got) > MaxWireSpans {
+			t.Fatalf("decoder admitted %d spans, cap is %d", len(got), MaxWireSpans)
+		}
+		for i, s := range got {
+			if s.Trace == 0 || s.ID == 0 {
+				t.Fatalf("span %d has zero trace/id: %+v", i, s)
+			}
+			if len(s.Attrs) > MaxSpanAttrs {
+				t.Fatalf("span %d has %d attrs, cap is %d", i, len(s.Attrs), MaxSpanAttrs)
+			}
+		}
+		// Round-trip: whatever we accepted must re-encode to a frame
+		// that decodes back to the same spans.
+		re := AppendSpans(AppendTraceContext(nil, trace, span), got)
+		r2 := codec.NewReader(re)
+		t2, s2 := ReadTraceContext(r2)
+		got2 := ReadSpans(r2)
+		if r2.Err() != nil {
+			t.Fatalf("re-encoded frame rejected: %v", r2.Err())
+		}
+		if t2 != trace || s2 != span {
+			t.Fatalf("context round trip (%x,%x) -> (%x,%x)", trace, span, t2, s2)
+		}
+		if len(got2) != len(got) {
+			t.Fatalf("span count round trip %d -> %d", len(got), len(got2))
+		}
+		for i := range got {
+			a, b := got[i], got2[i]
+			if a.Trace != b.Trace || a.ID != b.ID || a.Parent != b.Parent ||
+				a.Name != b.Name || a.Node != b.Node || a.Err != b.Err ||
+				a.Start != b.Start || a.Dur != b.Dur || len(a.Attrs) != len(b.Attrs) {
+				t.Fatalf("span %d round trip:\n%+v\n%+v", i, a, b)
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. A nil *Counter
+// no-ops, so packages hold counters unconditionally and skip the
+// registry-nil branch on the hot path.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Histogram is a lock-free power-of-two-bucket histogram of int64
+// observations (conventionally nanoseconds). Unlike metrics.Histogram
+// (geometric buckets, single-goroutine by contract, used by the
+// virtual-time harness) this one is safe for concurrent wall-clock
+// callers: Observe is two atomic adds and one atomic increment.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [65]atomic.Int64 // bucket i counts values with bit length i
+}
+
+// Observe records one value; negative values clamp to zero.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// midpoints; resolution is a power of two, which is plenty for the
+// p50/p95/p99 lines on /metrics.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			if i == 0 {
+				return 0
+			}
+			lo := float64(int64(1) << (i - 1))
+			return lo * 1.5 // midpoint of [2^(i-1), 2^i)
+		}
+	}
+	return float64(h.sum.Load())
+}
+
+// Registry is a flat, name-keyed set of counters, gauges and
+// histograms exported via WriteText. Registration is idempotent: the
+// first caller creates the instrument, later callers share it. A nil
+// *Registry returns nil instruments, which no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]func() int64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]func() int64),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers a sampling function evaluated at scrape time. The
+// last registration for a name wins; fn must be safe to call from the
+// scrape goroutine.
+func (r *Registry) Gauge(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.gauges[name] = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// WriteText writes the registry as sorted "name value" lines — the
+// format served at /metrics and logged by the SIGUSR1 snapshot.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	type line struct {
+		name string
+		val  string
+	}
+	lines := make([]line, 0, len(r.counters)+len(r.gauges)+4*len(r.hists))
+	for name, c := range r.counters {
+		lines = append(lines, line{name, fmt.Sprintf("%d", c.Value())})
+	}
+	gauges := make(map[string]func() int64, len(r.gauges))
+	for name, fn := range r.gauges {
+		gauges[name] = fn
+	}
+	for name, h := range r.hists {
+		lines = append(lines, line{name + "_count", fmt.Sprintf("%d", h.Count())})
+		lines = append(lines, line{name + "_sum", fmt.Sprintf("%d", h.Sum())})
+		lines = append(lines, line{name + "_p50", fmt.Sprintf("%.0f", h.Quantile(0.50))})
+		lines = append(lines, line{name + "_p95", fmt.Sprintf("%.0f", h.Quantile(0.95))})
+		lines = append(lines, line{name + "_p99", fmt.Sprintf("%.0f", h.Quantile(0.99))})
+	}
+	r.mu.Unlock()
+	// Gauges sample outside the lock: their closures may take other
+	// locks (routing table, hotcache shards) and must not deadlock
+	// against a concurrent registration.
+	for name, fn := range gauges {
+		lines = append(lines, line{name, fmt.Sprintf("%d", fn())})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "%s %s\n", l.name, l.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

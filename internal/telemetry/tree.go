@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TreeNode is one span plus its resolved children, ready to render.
+type TreeNode struct {
+	Span     Span
+	Children []*TreeNode
+}
+
+// BuildTree assembles spans (any order, any node mix, duplicates
+// allowed — piggy-backed spans can arrive twice) into parent-linked
+// trees. Spans whose parent is absent from the set become roots, so a
+// partially-evicted ring still renders as a forest instead of
+// vanishing. Roots and siblings sort by start time then ID for
+// deterministic output.
+func BuildTree(spans []Span) []*TreeNode {
+	if len(spans) == 0 {
+		return nil
+	}
+	byID := make(map[SpanID]*TreeNode, len(spans))
+	order := make([]*TreeNode, 0, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 {
+			continue
+		}
+		if _, dup := byID[s.ID]; dup {
+			continue
+		}
+		n := &TreeNode{Span: s}
+		byID[s.ID] = n
+		order = append(order, n)
+	}
+	var roots []*TreeNode
+	for _, n := range order {
+		if p, ok := byID[n.Span.Parent]; ok && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range order {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*TreeNode) {
+	sort.Slice(ns, func(i, j int) bool {
+		a, b := ns[i].Span, ns[j].Span
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.ID < b.ID
+	})
+}
+
+// RenderTree renders spans as an indented tree in the same box-drawing
+// style as plan.Explain, one line per span:
+//
+//	query q="alpha beta" @client (1.2ms)
+//	└─ service.query @127.0.0.1:9001 (1.1ms)
+//	   ├─ plan.Limit tuples=4 @127.0.0.1:9001
+//	   └─ rpc.find_value to=127.0.0.1:9004 @127.0.0.1:9001 (210µs)
+//	      └─ serve.find_value @127.0.0.1:9004 (95µs)
+func RenderTree(spans []Span) string {
+	roots := BuildTree(spans)
+	if len(roots) == 0 {
+		return "(no spans)\n"
+	}
+	var b strings.Builder
+	for _, r := range roots {
+		renderNode(&b, r, "", "")
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *TreeNode, prefix, childPrefix string) {
+	s := n.Span
+	b.WriteString(prefix)
+	b.WriteString(s.Name)
+	for _, a := range s.Attrs {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Val)
+	}
+	if s.Node != "" {
+		fmt.Fprintf(b, " @%s", s.Node)
+	}
+	if s.Dur > 0 {
+		fmt.Fprintf(b, " (%v)", s.Dur)
+	}
+	if s.Err != "" {
+		fmt.Fprintf(b, " err=%q", s.Err)
+	}
+	b.WriteByte('\n')
+	for i, c := range n.Children {
+		if i == len(n.Children)-1 {
+			renderNode(b, c, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			renderNode(b, c, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// TraceNodes returns the number of distinct node names in spans.
+func TraceNodes(spans []Span) int {
+	seen := make(map[string]bool, 8)
+	for _, s := range spans {
+		if !seen[s.Node] {
+			seen[s.Node] = true
+		}
+	}
+	return len(seen)
+}
+
+// TraceDepth returns the maximum root-to-leaf depth across the trees
+// assembled from spans (1 = roots only, 0 = no spans).
+func TraceDepth(spans []Span) int {
+	var depth func(n *TreeNode) int
+	depth = func(n *TreeNode) int {
+		best := 0
+		for _, c := range n.Children {
+			if d := depth(c); d > best {
+				best = d
+			}
+		}
+		return best + 1
+	}
+	best := 0
+	for _, r := range BuildTree(spans) {
+		if d := depth(r); d > best {
+			best = d
+		}
+	}
+	return best
+}

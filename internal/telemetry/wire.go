@@ -1,0 +1,170 @@
+package telemetry
+
+import (
+	"encoding/binary"
+	"time"
+
+	"piersearch/internal/codec"
+)
+
+// MaxWireSpans caps how many spans one frame may carry; a hostile
+// count larger than this fails the decode instead of allocating.
+const MaxWireSpans = 4096
+
+// MaxSpanAttrs caps per-span attributes on the wire.
+const MaxSpanAttrs = 64
+
+// maxSpanString bounds name/node/err/attr strings coming off the wire.
+const maxSpanString = 4096
+
+// AppendTraceContext appends the versioned trace-context block (see
+// doc.go): a flag byte, then trace+span IDs when traced. Appending the
+// zero context costs one byte and no allocations beyond dst growth.
+func AppendTraceContext(dst []byte, trace TraceID, span SpanID) []byte {
+	if trace == 0 {
+		return append(dst, 0)
+	}
+	dst = append(dst, 1)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(trace))
+	return binary.BigEndian.AppendUint64(dst, uint64(span))
+}
+
+// ReadTraceContext consumes a trace-context block. An exhausted reader
+// (legacy frame with no trailing block) yields the zero context so old
+// peers interoperate.
+func ReadTraceContext(r *codec.Reader) (TraceID, SpanID) {
+	if r.Len() == 0 {
+		return 0, 0
+	}
+	switch flag := r.Byte(); flag {
+	case 0:
+		return 0, 0
+	case 1:
+		t := TraceID(readU64(r))
+		s := SpanID(readU64(r))
+		if t == 0 {
+			r.Fail("trace context: flagged traced but zero trace id")
+			return 0, 0
+		}
+		return t, s
+	default:
+		r.Fail("trace context: unknown flag")
+		return 0, 0
+	}
+}
+
+// AppendSpans appends the span-list block (see doc.go). Lists longer
+// than MaxWireSpans are truncated to the most recent spans rather than
+// producing a frame peers would reject.
+func AppendSpans(dst []byte, spans []Span) []byte {
+	if len(spans) > MaxWireSpans {
+		spans = spans[len(spans)-MaxWireSpans:]
+	}
+	dst = codec.AppendUvarint(dst, uint64(len(spans)))
+	for i := range spans {
+		s := &spans[i]
+		dst = binary.BigEndian.AppendUint64(dst, uint64(s.Trace))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(s.ID))
+		dst = binary.BigEndian.AppendUint64(dst, uint64(s.Parent))
+		dst = codec.AppendVarint(dst, int64(s.Start))
+		dst = codec.AppendVarint(dst, int64(s.Dur))
+		dst = codec.AppendString(dst, s.Name)
+		dst = codec.AppendString(dst, s.Node)
+		dst = codec.AppendString(dst, s.Err)
+		na := len(s.Attrs)
+		if na > MaxSpanAttrs {
+			na = MaxSpanAttrs
+		}
+		dst = codec.AppendUvarint(dst, uint64(na))
+		for _, a := range s.Attrs[:na] {
+			dst = codec.AppendString(dst, a.Key)
+			dst = codec.AppendString(dst, a.Val)
+		}
+	}
+	return dst
+}
+
+// ReadSpans consumes a span-list block, validating every count and
+// length against the remaining buffer. An exhausted reader (legacy
+// frame) yields nil.
+func ReadSpans(r *codec.Reader) []Span {
+	if r.Len() == 0 {
+		return nil
+	}
+	n := r.Count()
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	if n > MaxWireSpans {
+		r.Fail("span list: count exceeds MaxWireSpans")
+		return nil
+	}
+	// Each span costs at least 3*8 id bytes + 2 varints + 3 empty
+	// strings + attr count = 30 bytes; reject counts the buffer cannot
+	// possibly hold before allocating.
+	if n*30 > r.Len() {
+		r.Fail("span list: count exceeds buffer")
+		return nil
+	}
+	spans := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		var s Span
+		s.Trace = TraceID(readU64(r))
+		s.ID = SpanID(readU64(r))
+		s.Parent = SpanID(readU64(r))
+		s.Start = time.Duration(r.Varint())
+		s.Dur = time.Duration(r.Varint())
+		s.Name = spanString(r)
+		s.Node = spanString(r)
+		s.Err = spanString(r)
+		na := r.Count()
+		if r.Err() != nil {
+			return nil
+		}
+		if na > MaxSpanAttrs {
+			r.Fail("span list: attr count exceeds MaxSpanAttrs")
+			return nil
+		}
+		if na > 0 {
+			s.Attrs = make([]Attr, 0, na)
+			for j := 0; j < na; j++ {
+				k := spanString(r)
+				v := spanString(r)
+				s.Attrs = append(s.Attrs, Attr{Key: k, Val: v})
+			}
+		}
+		if r.Err() != nil {
+			return nil
+		}
+		if s.Trace == 0 || s.ID == 0 {
+			r.Fail("span list: zero trace or span id")
+			return nil
+		}
+		spans = append(spans, s)
+	}
+	return spans
+}
+
+func readU64(r *codec.Reader) uint64 {
+	b := r.Take(8)
+	if len(b) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func spanString(r *codec.Reader) string {
+	n := r.Count()
+	if r.Err() != nil {
+		return ""
+	}
+	if n > maxSpanString {
+		r.Fail("span list: string exceeds cap")
+		return ""
+	}
+	b := r.Take(n)
+	if r.Err() != nil {
+		return ""
+	}
+	return string(b)
+}

@@ -8,8 +8,10 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"piersearch/internal/codec"
+	"piersearch/internal/telemetry"
 )
 
 // This file extends the transport from one-shot Call round-trips to
@@ -70,12 +72,49 @@ type Mux struct {
 
 	writeMu sync.Mutex
 
+	// met holds the session's metric instruments; set after construction
+	// (the read loop is already running) so it lives in an atomic
+	// pointer. Nil pointer or nil counters no-op.
+	met atomic.Pointer[MuxMetrics]
+
 	mu      sync.Mutex
 	streams map[uint64]*Stream
 	nextID  uint64
 	err     error         // terminal mux error
 	done    chan struct{} // closed when the read loop exits
 }
+
+// MuxMetrics are the per-session wire counters a mux reports when
+// attached with SetMetrics. Any field may be nil.
+type MuxMetrics struct {
+	FramesIn     *telemetry.Counter
+	FramesOut    *telemetry.Counter
+	BytesIn      *telemetry.Counter
+	BytesOut     *telemetry.Counter
+	CreditStalls *telemetry.Counter // Sends that had to wait for credit
+	Resets       *telemetry.Counter
+}
+
+// RegisterMuxMetrics resolves the shared wire.* instruments on reg.
+// Sessions created for the same registry share counters, so the totals
+// aggregate across connections.
+func RegisterMuxMetrics(reg *telemetry.Registry) *MuxMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &MuxMetrics{
+		FramesIn:     reg.Counter("wire.mux.frames_in"),
+		FramesOut:    reg.Counter("wire.mux.frames_out"),
+		BytesIn:      reg.Counter("wire.mux.bytes_in"),
+		BytesOut:     reg.Counter("wire.mux.bytes_out"),
+		CreditStalls: reg.Counter("wire.mux.credit_stalls"),
+		Resets:       reg.Counter("wire.mux.resets"),
+	}
+}
+
+// SetMetrics attaches counters to the session. Safe while the read
+// loop is running; nil detaches.
+func (m *Mux) SetMetrics(mm *MuxMetrics) { m.met.Store(mm) }
 
 // NewClientMux wraps conn as the stream-opening side of a mux session and
 // starts its read loop.
@@ -200,6 +239,13 @@ func (m *Mux) writeFrame(id uint64, kind byte, body []byte) error {
 	m.writeMu.Lock()
 	err := WriteFrame(m.conn, buf)
 	m.writeMu.Unlock()
+	if mm := m.met.Load(); mm != nil && err == nil {
+		mm.FramesOut.Inc()
+		mm.BytesOut.Add(int64(len(buf) + 4))
+		if kind == frameReset {
+			mm.Resets.Inc()
+		}
+	}
 	codec.PutBuf(buf)
 	if err != nil {
 		m.fail(fmt.Errorf("wire: mux write: %w", err))
@@ -218,6 +264,10 @@ func (m *Mux) readLoop() {
 			}
 			m.fail(fmt.Errorf("wire: mux read: %w", err))
 			return
+		}
+		if mm := m.met.Load(); mm != nil {
+			mm.FramesIn.Inc()
+			mm.BytesIn.Add(int64(len(payload) + 4))
 		}
 		r := codec.NewReader(payload)
 		id := r.Uvarint()
@@ -413,6 +463,9 @@ func (s *Stream) Send(ctx context.Context, payload []byte) error {
 			return err
 		}
 		s.mu.Unlock()
+		if mm := s.m.met.Load(); mm != nil {
+			mm.CreditStalls.Inc()
+		}
 		select {
 		case <-s.creditc:
 		case <-s.term:

@@ -14,6 +14,7 @@ import (
 
 	"piersearch/internal/codec"
 	"piersearch/internal/dht"
+	"piersearch/internal/telemetry"
 )
 
 // MaxFrame bounds a single message (16 MiB), protecting against corrupt
@@ -118,7 +119,12 @@ func EncodeRequest(req *dht.Request) []byte {
 	// Provider-record batch (RPCProvide's replication/handoff payload).
 	// Always present — an empty batch is two bytes — so the frame layout
 	// stays position-independent of the request kind.
-	return dht.AppendProviderRecords(buf, req.Records)
+	buf = dht.AppendProviderRecords(buf, req.Records)
+	// Trailing versioned trace-context block: one flag byte when
+	// untraced, so the hot path pays no allocation and peers that
+	// predate tracing still parse (the decoder treats an exhausted
+	// buffer as "no trace").
+	return telemetry.AppendTraceContext(buf, req.TraceID, req.SpanID)
 }
 
 // DecodeRequest parses a DHT request. Every retained field is copied out
@@ -136,6 +142,7 @@ func DecodeRequest(buf []byte) (*dht.Request, error) {
 	req.App = r.String()
 	req.Data = r.Bytes()
 	req.Records = dht.ReadProviderRecords(r)
+	req.TraceID, req.SpanID = telemetry.ReadTraceContext(r)
 	return req, r.Finish()
 }
 
@@ -156,7 +163,10 @@ func EncodeResponse(resp *dht.Response) []byte {
 	for _, v := range resp.Values {
 		buf = appendValue(buf, v)
 	}
-	return codec.AppendBytes(buf, resp.Data)
+	buf = codec.AppendBytes(buf, resp.Data)
+	// Trailing span block: piggy-backed handler spans for traced
+	// requests, one varint zero otherwise (legacy peers simply omit it).
+	return telemetry.AppendSpans(buf, resp.Spans)
 }
 
 // DecodeResponse parses a DHT response. Every retained field is copied out
@@ -179,5 +189,6 @@ func DecodeResponse(buf []byte) (*dht.Response, error) {
 		resp.Values = append(resp.Values, readStored(r))
 	}
 	resp.Data = r.Bytes()
+	resp.Spans = telemetry.ReadSpans(r)
 	return resp, r.Finish()
 }
