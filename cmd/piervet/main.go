@@ -1,0 +1,127 @@
+// Command piervet runs the repo's custom analyzer suite over package
+// patterns, exactly as `go vet` would: findings print as
+// file:line:col: [analyzer] message, and a non-zero exit means the
+// tree violates an invariant. CI runs it as a required job:
+//
+//	go run ./cmd/piervet ./...
+//
+// Findings are suppressed per line with a mandatory-reason directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// See internal/lint/doc.go for the invariant each analyzer encodes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"piersearch/internal/lint/analysis"
+	"piersearch/internal/lint/codecguard"
+	"piersearch/internal/lint/ctxflow"
+	"piersearch/internal/lint/determinism"
+	"piersearch/internal/lint/load"
+	"piersearch/internal/lint/locksafe"
+	"piersearch/internal/lint/metricnames"
+	"piersearch/internal/lint/spanhygiene"
+)
+
+// analyzers is the full suite, run over every target package.
+var analyzers = []*analysis.Analyzer{
+	codecguard.Analyzer,
+	ctxflow.Analyzer,
+	determinism.Analyzer,
+	locksafe.Analyzer,
+	metricnames.Analyzer,
+	spanhygiene.Analyzer,
+}
+
+func main() {
+	verbose := flag.Bool("v", false, "also print soft type-check errors and per-package progress")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: piervet [-v] [packages]\n\nAnalyzers:\n")
+		for _, a := range analyzers {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := run(patterns, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "piervet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "piervet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// run loads patterns once and applies every analyzer to every target
+// package, returning the formatted, allow-filtered findings sorted by
+// position.
+func run(patterns []string, verbose bool) ([]string, error) {
+	loader := &load.Loader{}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []string
+	for _, pkg := range pkgs {
+		// Skip the analyzers' own fixture trees: they are violations on
+		// purpose. (go list won't match testdata, but guard anyway for
+		// explicit patterns.)
+		if pkg.Pkg == nil {
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(os.Stderr, "piervet: checking %s\n", pkg.ImportPath)
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "piervet: %s: soft type error: %v\n", pkg.ImportPath, e)
+			}
+		}
+		allows := analysis.ParseAllows(loader.Fset(), pkg.Files)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      loader.Fset(),
+				Files:     pkg.Files,
+				Pkg:       pkg.Pkg,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				if allows.Suppressed(loader.Fset(), name, d.Pos) {
+					return
+				}
+				p := loader.Fset().Position(d.Pos)
+				findings = append(findings, fmt.Sprintf("%s: [%s] %s", p, name, d.Message))
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Strings(findings)
+	return findings, nil
+}

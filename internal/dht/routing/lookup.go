@@ -157,7 +157,9 @@ func Run(ctx context.Context, cfg LookupConfig) LookupResult {
 		}
 		wake := s.wake
 		s.mu.Unlock()
-		cfg.Wait(context.Background(), wake)
+		// Joining workers must outlive a canceled query ctx: they still
+		// hold in-flight RPC slots that have to drain into state.
+		cfg.Wait(context.Background(), wake) //lint:allow ctxflow worker join must complete even after the query ctx is canceled
 	}
 }
 

@@ -27,8 +27,8 @@ func (n *Node) registerMetrics(reg *telemetry.Registry) {
 	}
 	kinds := []RPCKind{RPCPing, RPCFindNode, RPCFindValue, RPCStore, RPCApp, RPCProvide}
 	for _, k := range kinds {
-		n.met.rpcIn[k&rpcKindMask] = reg.Counter("dht.rpc.in." + k.String())
-		n.met.rpcOut[k&rpcKindMask] = reg.Counter("dht.rpc.out." + k.String())
+		n.met.rpcIn[k&rpcKindMask] = reg.Counter("dht.rpc.in." + k.String())   //lint:allow metricnames bounded by the RPCKind enum, one registration per kind at construction
+		n.met.rpcOut[k&rpcKindMask] = reg.Counter("dht.rpc.out." + k.String()) //lint:allow metricnames bounded by the RPCKind enum, one registration per kind at construction
 	}
 	n.met.rpcOutFail = reg.Counter("dht.rpc.out.failed")
 	n.met.evictions = reg.Counter("dht.table.evictions")

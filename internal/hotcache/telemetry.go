@@ -6,21 +6,30 @@ import "piersearch/internal/telemetry"
 // hotcache.data.*, hotcache.routes.*, and hotcache.*. Gauges sample
 // Stats() on demand, so registration is the only cost; the tier itself
 // keeps no registry reference.
+//
+// The per-cache blocks are spelled out with literal names rather than a
+// prefix helper so the registry's full cardinality is visible in the
+// source (piervet's metricnames invariant).
 func (t *Tier) RegisterMetrics(reg *telemetry.Registry) {
 	if t == nil || reg == nil {
 		return
 	}
-	cache := func(prefix string, c *Cache) {
-		reg.Gauge(prefix+".entries", func() int64 { return int64(c.Stats().Entries) })
-		reg.Gauge(prefix+".bytes", func() int64 { return c.Stats().Bytes })
-		reg.Gauge(prefix+".hits", func() int64 { return c.Stats().Hits })
-		reg.Gauge(prefix+".misses", func() int64 { return c.Stats().Misses })
-		reg.Gauge(prefix+".evictions", func() int64 { return c.Stats().Evictions })
-		reg.Gauge(prefix+".expirations", func() int64 { return c.Stats().Expirations })
-		reg.Gauge(prefix+".invalidations", func() int64 { return c.Stats().Invalidations })
-	}
-	cache("hotcache.data", t.Data)
-	cache("hotcache.routes", t.Routes)
+	d := t.Data
+	reg.Gauge("hotcache.data.entries", func() int64 { return int64(d.Stats().Entries) })
+	reg.Gauge("hotcache.data.bytes", func() int64 { return d.Stats().Bytes })
+	reg.Gauge("hotcache.data.hits", func() int64 { return d.Stats().Hits })
+	reg.Gauge("hotcache.data.misses", func() int64 { return d.Stats().Misses })
+	reg.Gauge("hotcache.data.evictions", func() int64 { return d.Stats().Evictions })
+	reg.Gauge("hotcache.data.expirations", func() int64 { return d.Stats().Expirations })
+	reg.Gauge("hotcache.data.invalidations", func() int64 { return d.Stats().Invalidations })
+	r := t.Routes
+	reg.Gauge("hotcache.routes.entries", func() int64 { return int64(r.Stats().Entries) })
+	reg.Gauge("hotcache.routes.bytes", func() int64 { return r.Stats().Bytes })
+	reg.Gauge("hotcache.routes.hits", func() int64 { return r.Stats().Hits })
+	reg.Gauge("hotcache.routes.misses", func() int64 { return r.Stats().Misses })
+	reg.Gauge("hotcache.routes.evictions", func() int64 { return r.Stats().Evictions })
+	reg.Gauge("hotcache.routes.expirations", func() int64 { return r.Stats().Expirations })
+	reg.Gauge("hotcache.routes.invalidations", func() int64 { return r.Stats().Invalidations })
 	reg.Gauge("hotcache.coalesced", func() int64 { return t.Flights.Coalesced() })
 	reg.Gauge("hotcache.fanout_reads", func() int64 { return t.fanout.Load() })
 }

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suppression directive is
+//
+//	//lint:allow <analyzer> <reason>
+//
+// and silences diagnostics from exactly one analyzer, on exactly one
+// line: the directive's own line when it trails code, or the next
+// line when the comment stands alone. The reason is mandatory — a
+// bare "//lint:allow ctxflow" suppresses nothing, so every escape
+// hatch in the tree carries its justification next to it.
+
+const allowPrefix = "//lint:allow "
+
+// An AllowSet records which (file line, analyzer) pairs carry a valid
+// suppression directive.
+type AllowSet struct {
+	byLine map[allowKey]bool
+}
+
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// ParseAllows scans the comments of files for lint:allow directives.
+func ParseAllows(fset *token.FileSet, files []*ast.File) *AllowSet {
+	s := &AllowSet{byLine: map[allowKey]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					// Reasonless directive: deliberately inert.
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				// A trailing directive guards its own line; a
+				// standalone one guards the line below it.
+				s.byLine[allowKey{pos.Filename, pos.Line, name}] = true
+				s.byLine[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a diagnostic from the named analyzer at
+// pos is covered by a directive.
+func (s *AllowSet) Suppressed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	if s == nil {
+		return false
+	}
+	p := fset.Position(pos)
+	return s.byLine[allowKey{p.Filename, p.Line, analyzer}]
+}

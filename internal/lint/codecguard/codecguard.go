@@ -1,0 +1,320 @@
+package codecguard
+
+import (
+	"go/ast"
+	"go/types"
+
+	"piersearch/internal/lint/analysis"
+	"piersearch/internal/lint/lintutil"
+)
+
+// Analyzer enforces the hostile-input rules on the hot path: no
+// reflection codecs (encoding/gob, encoding/json), and no allocation
+// sized by a wire-read length that has not been guarded against a
+// cap.
+var Analyzer = &analysis.Analyzer{
+	Name: "codecguard",
+	Doc:  "flags gob/json imports in hot-path packages and decode allocations sized by an unguarded wire-read length — a corrupt or hostile frame must not pick our allocation sizes",
+	Run:  run,
+}
+
+// hotPaths are the package-path suffixes on the query/publish/wire
+// hot path, where PR 2 purged reflection codecs and every decode
+// guards its counts.
+var hotPaths = []string{
+	"internal/codec", "internal/wire", "internal/pier", "internal/dht",
+	"internal/service", "internal/store", "internal/telemetry", "internal/hotcache",
+}
+
+func inScope(path string) bool {
+	for _, s := range hotPaths {
+		if lintutil.PkgPathHasSuffix(path, s) || lintutil.PkgPathContains(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	if !inScope(pass.Pkg.Path()) {
+		return nil
+	}
+	checkImports(pass)
+	lintutil.FuncBodies(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		if decl == nil {
+			return // literal bodies are walked from the enclosing decl
+		}
+		w := &walker{pass: pass, tainted: map[types.Object]bool{}}
+		w.stmts(decl.Body.List)
+	})
+	return nil
+}
+
+func checkImports(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			switch imp.Path.Value {
+			case `"encoding/gob"`, `"encoding/json"`:
+				pass.Reportf(imp.Pos(),
+					"%s on the hot path: PR 2 purged reflection codecs from wire-facing packages; use internal/codec",
+					imp.Path.Value)
+			}
+		}
+	}
+}
+
+// walker performs a lexical-order taint walk over one function body.
+// A variable is tainted when it holds a wire-read integer (a varint
+// straight off the frame); it is cleansed by any comparison guard
+// that mentions it. make() sized by a tainted expression is the
+// violation.
+type walker struct {
+	pass    *analysis.Pass
+	tainted map[types.Object]bool
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		w.scanMakes(s)
+		w.assign(s)
+	case *ast.DeclStmt:
+		w.scanMakes(s)
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					w.valueSpec(vs)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scanMakes(s.Cond)
+		w.guard(s.Cond)
+		w.stmts(s.Body.List)
+		if s.Else != nil {
+			w.stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.guard(s.Cond)
+		}
+		w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.scanMakes(s)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	default:
+		w.scanMakes(s)
+	}
+}
+
+// assign propagates taint through plain assignments and clears it on
+// reassignment from clean sources.
+func (w *walker) assign(s *ast.AssignStmt) {
+	// Per-position when counts line up (a, b := x, y); otherwise the
+	// whole RHS taints every LHS (a, b := f()).
+	for i, lhs := range s.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := w.pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			continue
+		}
+		var rhs ast.Expr
+		if len(s.Rhs) == len(s.Lhs) {
+			rhs = s.Rhs[i]
+		} else if len(s.Rhs) == 1 {
+			rhs = s.Rhs[0]
+		}
+		if rhs != nil && w.taintedExpr(rhs) {
+			w.tainted[obj] = true
+		} else {
+			delete(w.tainted, obj)
+		}
+	}
+}
+
+func (w *walker) valueSpec(vs *ast.ValueSpec) {
+	for i, name := range vs.Names {
+		obj := w.pass.TypesInfo.Defs[name]
+		if obj == nil {
+			continue
+		}
+		var rhs ast.Expr
+		if len(vs.Values) == len(vs.Names) {
+			rhs = vs.Values[i]
+		} else if len(vs.Values) == 1 {
+			rhs = vs.Values[0]
+		}
+		if rhs != nil && w.taintedExpr(rhs) {
+			w.tainted[obj] = true
+		}
+	}
+}
+
+// guard cleanses every tainted variable that appears in a comparison:
+// the author has bounded it against something. The canonical repo
+// guards — `if n > uint64(len(rest))` and Reader.Count — both land
+// here or never taint at all.
+func (w *walker) guard(cond ast.Expr) {
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op.String() {
+		case "<", ">", "<=", ">=", "==", "!=":
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				ast.Inspect(side, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok {
+						if obj := w.pass.TypesInfo.Uses[id]; obj != nil {
+							delete(w.tainted, obj)
+						}
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+}
+
+// scanMakes reports make() calls whose size arguments are tainted.
+func (w *walker) scanMakes(n ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" {
+			return true
+		}
+		if _, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+			return true
+		}
+		for _, arg := range call.Args[1:] {
+			if w.taintedExpr(arg) {
+				w.pass.Reportf(call.Pos(),
+					"allocation sized by unguarded wire value %s: a hostile frame picks the size; guard it against the remaining buffer (or use codec.Reader.Count)",
+					lintutil.ExprString(arg))
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// taintedExpr reports whether e carries wire taint: it mentions a
+// tainted variable or calls a raw varint read directly. A builtin
+// min() with at least one clean argument is a bound and is clean.
+func (w *walker) taintedExpr(e ast.Expr) bool {
+	tainted := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if tainted {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if w.isBoundedMin(n) {
+				return false
+			}
+			if w.isRawWireRead(n) {
+				tainted = true
+				return false
+			}
+		case *ast.Ident:
+			if obj := w.pass.TypesInfo.Uses[n]; obj != nil && w.tainted[obj] {
+				tainted = true
+				return false
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// isBoundedMin reports whether call is builtin min(...) with at least
+// one untainted argument — an explicit bound.
+func (w *walker) isBoundedMin(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "min" {
+		return false
+	}
+	if _, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	for _, arg := range call.Args {
+		if !w.taintedExpr(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRawWireRead recognizes the unguarded length sources: Uvarint and
+// Varint on the codec Reader (Count and View are guarded by
+// construction and are not sources) and the encoding/binary varint
+// readers.
+func (w *walker) isRawWireRead(call *ast.CallExpr) bool {
+	callee, ok := lintutil.CalleeOf(w.pass.TypesInfo, call)
+	if !ok {
+		return false
+	}
+	if callee.RecvType == "Reader" && lintutil.PkgPathHasSuffix(callee.PkgPath, "internal/codec") {
+		return callee.Name == "Uvarint" || callee.Name == "Varint"
+	}
+	if callee.PkgPath == "encoding/binary" {
+		switch callee.Name {
+		case "Uvarint", "Varint", "ReadUvarint", "ReadVarint":
+			return true
+		}
+	}
+	return false
+}

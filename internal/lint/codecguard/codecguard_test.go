@@ -1,0 +1,18 @@
+package codecguard_test
+
+import (
+	"testing"
+
+	"piersearch/internal/lint/codecguard"
+	"piersearch/internal/lint/linttest"
+)
+
+// TestCodecguard exercises the multi-file wire fixture (decode.go +
+// imports.go form one package) plus the in-scope codec stub and the
+// out-of-scope report package.
+func TestCodecguard(t *testing.T) {
+	linttest.Run(t, "testdata/src", codecguard.Analyzer,
+		"p/internal/wire",
+		"p/internal/report",
+	)
+}

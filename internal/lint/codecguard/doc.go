@@ -1,0 +1,35 @@
+// Package codecguard checks the hostile-input rules from PR 2.
+//
+// # Invariant
+//
+// Wire-facing packages decode frames that arrive from arbitrary
+// peers. Two rules keep a hostile or corrupt frame from owning the
+// process:
+//
+//   - No reflection codecs on the hot path. PR 2 purged encoding/gob
+//     from every wire-facing package and replaced it with
+//     internal/codec (zero-alloc varints, pooled buffers, sticky
+//     -error Reader); gob and encoding/json imports in those packages
+//     are regressions. (encoding/json remains legal off the hot path,
+//     e.g. the scale harness's committed BENCH report.)
+//   - No allocation sized by an unguarded wire value. A length or
+//     element count read straight off the frame (Reader.Uvarint,
+//     Reader.Varint, encoding/binary varints) can claim 2^64
+//     elements; passing it to make() before comparing it against the
+//     remaining buffer lets one 10-byte frame demand gigabytes.
+//     Reader.Count and Reader.View embed the guard and are always
+//     safe; a raw varint must pass through a comparison (or a builtin
+//     min() with a clean bound) before it may size an allocation.
+//
+// The taint walk is lexical and per-function: a raw varint read
+// taints the variable it lands in; any comparison mentioning the
+// variable cleanses it; make() with a tainted size argument is
+// reported.
+//
+// # Suppressing
+//
+// A decode whose bound lives elsewhere (for instance a count already
+// capped by a schema constant upstream) is annotated in place:
+//
+//	out := make([]Span, 0, n) //lint:allow codecguard n capped by MaxSpans in the caller
+package codecguard

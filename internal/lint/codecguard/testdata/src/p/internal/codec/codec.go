@@ -1,0 +1,23 @@
+// Package codec is a fixture stub of piersearch/internal/codec: just
+// enough Reader surface for the taint fixtures to type-check.
+package codec
+
+type Reader struct {
+	buf []byte
+	err error
+}
+
+func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+func (r *Reader) Err() error { return r.err }
+func (r *Reader) Len() int   { return len(r.buf) }
+
+func (r *Reader) Uvarint() uint64 { return 0 }
+func (r *Reader) Varint() int64   { return 0 }
+
+// Count is guarded by construction: it rejects counts larger than the
+// remaining buffer before returning.
+func (r *Reader) Count() int { return 0 }
+
+// View is guarded: the length prefix is validated against the buffer.
+func (r *Reader) View() []byte { return nil }

@@ -1,0 +1,7 @@
+// Package report is off the hot path: encoding/json is legal here
+// (this is the BENCH_scale.json shape).
+package report
+
+import "encoding/json"
+
+func Write(v any) ([]byte, error) { return json.MarshalIndent(v, "", "  ") }

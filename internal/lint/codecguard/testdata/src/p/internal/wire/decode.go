@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"encoding/binary"
+
+	"p/internal/codec"
+)
+
+type Item struct{ Data []byte }
+
+// DecodeUnguarded sizes an allocation straight off the frame: flagged.
+func DecodeUnguarded(buf []byte) []Item {
+	r := codec.NewReader(buf)
+	n := r.Uvarint()
+	out := make([]Item, 0, n) // want `allocation sized by unguarded wire value n`
+	for i := uint64(0); i < n; i++ {
+		out = append(out, Item{})
+	}
+	return out
+}
+
+// DecodeInline nests the raw read inside the make: flagged.
+func DecodeInline(buf []byte) []byte {
+	r := codec.NewReader(buf)
+	return make([]byte, r.Uvarint()) // want `allocation sized by unguarded wire value`
+}
+
+// DecodeDerived taints through arithmetic and conversion: flagged.
+func DecodeDerived(buf []byte) []byte {
+	r := codec.NewReader(buf)
+	n := r.Uvarint()
+	width := n * 8
+	return make([]byte, int(width)) // want `allocation sized by unguarded wire value`
+}
+
+// DecodeGuarded compares the count against the remaining buffer
+// before allocating: fine.
+func DecodeGuarded(buf []byte) []Item {
+	r := codec.NewReader(buf)
+	n := r.Uvarint()
+	if n > uint64(r.Len()) {
+		return nil
+	}
+	out := make([]Item, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, Item{})
+	}
+	return out
+}
+
+// DecodeCounted uses Reader.Count, which guards internally: fine.
+func DecodeCounted(buf []byte) []Item {
+	r := codec.NewReader(buf)
+	n := r.Count()
+	out := make([]Item, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Item{})
+	}
+	return out
+}
+
+// DecodeMinBounded caps the preallocation with a clean bound: fine.
+func DecodeMinBounded(buf []byte) []Item {
+	r := codec.NewReader(buf)
+	n := r.Uvarint()
+	return make([]Item, 0, min(n, 256))
+}
+
+// DecodeBinary taints from encoding/binary's varint reader: flagged.
+func DecodeBinary(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	return make([]byte, n) // want `allocation sized by unguarded wire value n`
+}
+
+// DecodeAllowed documents an upstream bound.
+func DecodeAllowed(buf []byte) []Item {
+	r := codec.NewReader(buf)
+	n := r.Uvarint()
+	return make([]Item, 0, n) //lint:allow codecguard n already capped by MaxFrame in the mux
+}

@@ -1,0 +1,11 @@
+package wire
+
+import (
+	"encoding/gob"  // want `"encoding/gob" on the hot path`
+	"encoding/json" // want `"encoding/json" on the hot path`
+)
+
+func unused() {
+	_ = gob.NewEncoder
+	_ = json.Marshal
+}

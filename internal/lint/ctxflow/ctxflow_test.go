@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"piersearch/internal/lint/ctxflow"
+	"piersearch/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata/src", ctxflow.Analyzer,
+		"p/internal/a",
+		"p/internal/harnesstest",
+		"p/external/b",
+	)
+}

@@ -1,0 +1,36 @@
+// Package ctxflow checks the cancellation-threading invariant.
+//
+// # Invariant
+//
+// Every operation under internal/ runs beneath the context its caller
+// handed it. PR 3 threaded context.Context end to end so that a
+// canceled query aborts in-flight dials, RPCs, and chain waits; a
+// stray context.Background() or context.TODO() quietly detaches its
+// subtree from that graph, and the leak only shows up as goroutines
+// and RPCs that outlive their query under churn.
+//
+// # What it reports
+//
+// Any call to context.Background or context.TODO in a package whose
+// import path contains an "internal" element, except:
+//
+//   - legacy-wrapper shims: a function whose entire body is a single
+//     statement delegating to a function or method whose name ends in
+//     "Context" or "Ctx". These are the documented pre-PR-3
+//     compatibility surface (Engine.Publish → Engine.PublishContext,
+//     Node.Lookup → Node.LookupContext, transport Call →
+//     CallContext); the Background there is the shim's entire point.
+//   - test-harness packages whose package name ends in "test"
+//     (dhttest, linttest): they drive APIs from scratch and mint root
+//     contexts by design.
+//
+// # Suppressing
+//
+// A genuine root — a place where no caller context can exist, such as
+// a connection-lifetime context in the daemon's accept path or a
+// background maintenance loop — is annotated in place:
+//
+//	ctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow stream outlives the accept ctx; watcher cancels on conn death
+//
+// The reason is mandatory and should say why no caller ctx applies.
+package ctxflow

@@ -1,0 +1,7 @@
+// Package b sits outside any internal/ element, so ctxflow does not
+// apply: binaries and examples are allowed to mint root contexts.
+package b
+
+import "context"
+
+func Root() context.Context { return context.Background() }

@@ -1,0 +1,10 @@
+// Package harnesstest has a package name ending in "test": a test
+// harness, exempt from ctxflow wholesale.
+package harnesstest
+
+import "context"
+
+func Drive(fn func(context.Context)) {
+	fn(context.Background())
+	fn(context.TODO())
+}

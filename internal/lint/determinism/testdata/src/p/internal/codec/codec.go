@@ -1,0 +1,10 @@
+package codec
+
+// writeTable is not encode-named, but lives in internal/codec where
+// every function is an output path: still flagged.
+func writeTable(dst []byte, m map[uint64][]byte) []byte {
+	for _, v := range m { // want `map iteration order is randomized per run`
+		dst = append(dst, v...)
+	}
+	return dst
+}

@@ -1,0 +1,24 @@
+package other
+
+import "time"
+
+// Outside the clock-scoped packages the wall clock is legal…
+func Uptime(start time.Time) time.Duration { return time.Since(start) }
+
+// …but encode-shaped functions still must not range maps.
+func EncodeHeaders(dst []byte, h map[string]string) []byte {
+	for k, v := range h { // want `map iteration order is randomized per run`
+		dst = append(dst, k...)
+		dst = append(dst, v...)
+	}
+	return dst
+}
+
+// collect is not encode-shaped: map ranging is fine here.
+func collect(h map[string]string) int {
+	n := 0
+	for range h {
+		n++
+	}
+	return n
+}

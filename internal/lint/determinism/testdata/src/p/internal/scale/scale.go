@@ -1,0 +1,95 @@
+package scale
+
+import (
+	"math/rand"
+	"time"
+)
+
+type Clock struct{ now int64 }
+
+func (c *Clock) Now() int64 { return c.now }
+
+// Step observes the virtual clock: fine.
+func Step(c *Clock) int64 { return c.Now() }
+
+// WallClock reads the machine clock inside the harness: flagged.
+func WallClock() time.Time {
+	return time.Now() // want `wall clock leaks into a deterministic package`
+}
+
+// Nap sleeps on the wall clock: flagged.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep breaks virtual-time replay`
+}
+
+// Elapsed uses time.Since (a hidden Now): flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time\.Since breaks virtual-time replay`
+}
+
+// GlobalRand draws from the process-global source: flagged.
+func GlobalRand() int {
+	return rand.Intn(10) // want `global math/rand source is unseedable`
+}
+
+// SeededRand draws from a threaded, seeded generator: fine.
+func SeededRand(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+// BuildRand constructs the seeded generator — the prescribed remedy,
+// never flagged even though New/NewSource are package-level.
+func BuildRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// JitterAllowed documents a deliberate wall-clock read.
+func JitterAllowed() time.Time {
+	return time.Now() //lint:allow determinism startup banner only, never reaches the replay
+}
+
+// EncodeSet ranges a map while producing output bytes: flagged.
+func EncodeSet(dst []byte, set map[string]bool) []byte {
+	for k := range set { // want `map iteration order is randomized per run`
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// EncodeSorted drains the map into a slice first: fine (the range
+// over the slice is ordered).
+func EncodeSorted(dst []byte, keys []string) []byte {
+	for _, k := range keys {
+		dst = append(dst, k...)
+	}
+	return dst
+}
+
+// EncodeCollectSort gathers map keys for sorting — the first half of
+// the prescribed remedy, not flagged even inside an encode function.
+func EncodeCollectSort(dst []byte, set map[string]bool) []byte {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return EncodeSorted(dst, keys)
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// gatherStats ranges a map outside any encode-shaped function: fine
+// in scale, where aggregation is order-insensitive.
+func gatherStats(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,179 @@
+// Package lintutil holds the type- and syntax-query helpers shared by
+// the piervet analyzers: callee resolution, scope predicates, and
+// lock-bearing type detection.
+package lintutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// A Callee describes the target of a call expression precisely enough
+// for invariant matching: the defining package path, the receiver's
+// named type (empty for plain functions), and the function name.
+type Callee struct {
+	PkgPath  string
+	RecvType string
+	Name     string
+}
+
+// CalleeOf resolves call's target. ok is false for calls through
+// function-typed variables, builtins without objects, and anything
+// else without a resolvable declaration.
+func CalleeOf(info *types.Info, call *ast.CallExpr) (Callee, bool) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return Callee{}, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return Callee{}, false
+	}
+	c := Callee{Name: fn.Name()}
+	if pkg := fn.Pkg(); pkg != nil {
+		c.PkgPath = pkg.Path()
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			c.RecvType = n.Obj().Name()
+		}
+	}
+	return c, true
+}
+
+// PkgPathHasSuffix reports whether path equals suffix or ends with
+// "/"+suffix — the matching rule the analyzers use so that both the
+// real repo packages (piersearch/internal/codec) and fixture stubs
+// (anything/internal/codec) are recognized.
+func PkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// PkgPathContains reports whether path contains the element sequence
+// elems (e.g. "internal") as whole path segments.
+func PkgPathContains(path, elems string) bool {
+	return path == elems ||
+		strings.HasPrefix(path, elems+"/") ||
+		strings.HasSuffix(path, "/"+elems) ||
+		strings.Contains(path, "/"+elems+"/")
+}
+
+// FuncBodies calls fn for every function body in the file: each
+// FuncDecl body and each FuncLit body is presented as its own unit,
+// with nested FuncLits excluded from the enclosing unit (a literal is
+// its own goroutine/deferred context, not part of the enclosing
+// critical section or span scope). name is the declared name, or
+// "func literal".
+func FuncBodies(files []*ast.File, fn func(name string, decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Name.Name, d, d.Body)
+				}
+			case *ast.FuncLit:
+				fn("func literal", nil, d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// WalkShallow visits the statements of body and every nested
+// non-function block (if/for/range/switch/select bodies) in source
+// order, without descending into FuncLit bodies. Expressions inside
+// each statement are visited too (also skipping FuncLits).
+func WalkShallow(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return visit(n)
+	})
+}
+
+// ContainsLock reports whether t holds a sync.Mutex or sync.RWMutex
+// by value, directly or through nested structs and arrays.
+func ContainsLock(t types.Type) bool {
+	return containsLock(t, map[types.Type]bool{})
+}
+
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		if IsSyncType(t, "Mutex") || IsSyncType(t, "RWMutex") || IsSyncType(t, "WaitGroup") || IsSyncType(t, "Cond") {
+			return true
+		}
+		return containsLock(n.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// IsSyncType reports whether t is sync.<name> (not a pointer to it).
+func IsSyncType(t types.Type, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// ExprString renders a small expression (a mutex receiver like
+// "s.mu") for diagnostics and held-lock keying. It is purely
+// syntactic: two spellings of the same lvalue compare equal only if
+// written identically, which is the right granularity for
+// within-function lock tracking.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[" + ExprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "()"
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.BinaryExpr:
+		return ExprString(e.X) + " " + e.Op.String() + " " + ExprString(e.Y)
+	default:
+		return "?"
+	}
+}

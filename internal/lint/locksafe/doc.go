@@ -1,0 +1,37 @@
+// Package locksafe checks the bounded-critical-section invariant.
+//
+// # Invariant
+//
+// PR 2 sharded dht.Store into locked buckets and PR 7's hot-key tier
+// added more sharded state; both are safe under heavy concurrency
+// only while critical sections stay short and local. A blocking
+// operation — an RPC, a channel op, a WaitGroup join, a sleep — made
+// while a shard mutex is held turns one slow peer into a stalled
+// shard (and into a deadlock the day two shards call into each
+// other). vet has no opinion on any of this.
+//
+// # What it reports
+//
+//   - Blocking shapes while a sync.Mutex or sync.RWMutex is held, in
+//     lexical order within one function: channel sends and receives,
+//     select without a default, and calls whose name is
+//     conventionally blocking (Call, CallContext, Dial, DialContext,
+//     Send, Recv, Wait, Sleep, Join). sync.Cond.Wait is exempt — it
+//     requires the held lock. Function literals are separate units: a
+//     goroutine spawned under a lock does not inherit "held".
+//   - Lock-bearing values where vet's copylocks cannot see them:
+//     map and channel element types containing a mutex by value (map
+//     elements are unaddressable; channel transfer copies), and
+//     channel sends of lock-bearing values.
+//
+// A deferred Unlock keeps the mutex held for the rest of the
+// function, which is exactly when the rule matters most.
+//
+// # Suppressing
+//
+// A call that is name-blocking but provably local (for instance an
+// in-process Send on a buffered channel used as a free-list) is
+// annotated in place:
+//
+//	s.freelist <- buf //lint:allow locksafe buffered free-list, never blocks: cap == shard count
+package locksafe

@@ -1,0 +1,292 @@
+package locksafe
+
+import (
+	"go/ast"
+	"go/token"
+
+	"piersearch/internal/lint/analysis"
+	"piersearch/internal/lint/lintutil"
+)
+
+// Analyzer detects blocking operations performed while a mutex is
+// held, and lock-bearing values in positions vet's copylocks cannot
+// see (map/chan element types, channel sends).
+var Analyzer = &analysis.Analyzer{
+	Name: "locksafe",
+	Doc:  "flags blocking calls (RPC, channel ops, Wait, Sleep) made while a sync.Mutex/RWMutex is held, and mutex-by-value hazards beyond vet: lock-bearing map/chan element types and channel sends",
+	Run:  run,
+}
+
+// blockingNames are method/function names treated as potentially
+// blocking on the network or on other goroutines. The list is
+// deliberately name-based: the invariant protects sharded-bucket
+// critical sections, where any of these shapes is a latency cliff
+// (and a deadlock, once two shards call into each other).
+var blockingNames = map[string]bool{
+	"Call": true, "CallContext": true, "Dial": true, "DialContext": true,
+	"Send": true, "Recv": true, "Wait": true, "Sleep": true, "Join": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !lintutil.PkgPathContains(pass.Pkg.Path(), "internal") {
+		return nil
+	}
+	checkElemTypes(pass)
+	lintutil.FuncBodies(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		w := &walker{pass: pass, held: map[string]token.Pos{}}
+		w.stmts(body.List)
+	})
+	return nil
+}
+
+// --- blocking-while-held -----------------------------------------------------
+
+// walker tracks which mutexes are held across one function body, in
+// lexical order. FuncLit bodies are separate walker units (a literal
+// runs as its own goroutine or deferred frame), so lintutil.FuncBodies
+// hands them to us individually and the statement walk skips them.
+type walker struct {
+	pass *analysis.Pass
+	// held maps the printed receiver expression ("s.mu",
+	// "b.buckets[i].mu") to the Lock position.
+	held map[string]token.Pos
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, locking, ok := w.lockOp(s.X); ok {
+			if locking {
+				w.held[recv] = s.Pos()
+			} else {
+				delete(w.held, recv)
+			}
+			return
+		}
+		w.scanBlocking(s.X)
+	case *ast.DeferStmt:
+		if recv, locking, ok := w.lockOp(s.Call); ok && !locking {
+			// defer mu.Unlock(): the lock stays held to function end;
+			// keep it held for the rest of the walk.
+			_ = recv
+			return
+		}
+		// Deferred non-unlock calls run after the function body;
+		// their blocking behavior is not part of this critical
+		// section walk.
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			w.scanBlocking(e)
+		}
+	case *ast.SendStmt:
+		w.reportIfHeld(s.Pos(), "channel send")
+		w.checkSendCopiesLock(s)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			w.reportIfHeld(s.Pos(), "select without default")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.stmts(cc.Body)
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scanBlocking(s.Cond)
+		before := w.snapshot()
+		w.stmts(s.Body.List)
+		w.restore(before)
+		if s.Else != nil {
+			w.stmt(s.Else)
+			w.restore(before)
+		}
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.ForStmt:
+		w.stmts(s.Body.List)
+	case *ast.RangeStmt:
+		w.scanBlocking(s.X)
+		w.stmts(s.Body.List)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := s.(*ast.SwitchStmt); ok {
+			body = sw.Body
+		} else {
+			body = s.(*ast.TypeSwitchStmt).Body
+		}
+		before := w.snapshot()
+		for _, c := range body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.stmts(cc.Body)
+				w.restore(before)
+			}
+		}
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	case *ast.GoStmt:
+		// The spawned body is its own walker unit; the go statement
+		// itself does not block.
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			w.scanBlocking(e)
+		}
+	}
+}
+
+// snapshot/restore keep branch-local Lock/Unlock from leaking into
+// the sibling branch: `if x { mu.Lock(); ...; mu.Unlock() }` must not
+// mark mu held (or released) after the if.
+func (w *walker) snapshot() map[string]token.Pos {
+	c := make(map[string]token.Pos, len(w.held))
+	for k, v := range w.held {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *walker) restore(snap map[string]token.Pos) {
+	w.held = make(map[string]token.Pos, len(snap))
+	for k, v := range snap {
+		w.held[k] = v
+	}
+}
+
+// lockOp recognizes `<expr>.Lock()`, `RLock`, `Unlock`, `RUnlock` on
+// a sync.Mutex or sync.RWMutex value and returns the printed receiver
+// plus whether it acquires.
+func (w *walker) lockOp(e ast.Expr) (recv string, locking, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locking = true
+	case "Unlock", "RUnlock":
+	default:
+		return "", false, false
+	}
+	// Resolve through the method object so an embedded mutex
+	// (`s.Lock()` promoted from a sync.Mutex field) is recognized
+	// too: the promoted method's receiver is still sync.Mutex.
+	callee, ok2 := lintutil.CalleeOf(w.pass.TypesInfo, call)
+	if !ok2 || callee.PkgPath != "sync" || (callee.RecvType != "Mutex" && callee.RecvType != "RWMutex") {
+		return "", false, false
+	}
+	return lintutil.ExprString(sel.X), locking, true
+}
+
+// scanBlocking looks inside an expression for blocking shapes:
+// receives, and calls with blocking names.
+func (w *walker) scanBlocking(e ast.Expr) {
+	if e == nil || len(w.held) == 0 {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.reportIfHeld(n.Pos(), "channel receive")
+			}
+		case *ast.CallExpr:
+			w.checkBlockingCall(n)
+		}
+		return true
+	})
+}
+
+func (w *walker) checkBlockingCall(call *ast.CallExpr) {
+	callee, ok := lintutil.CalleeOf(w.pass.TypesInfo, call)
+	if !ok || !blockingNames[callee.Name] {
+		return
+	}
+	// sync.Cond.Wait requires the caller to hold the lock; it is the
+	// one legal blocking call inside a critical section.
+	if callee.RecvType == "Cond" && callee.PkgPath == "sync" {
+		return
+	}
+	what := callee.Name
+	if callee.RecvType != "" {
+		what = callee.RecvType + "." + what
+	} else if callee.PkgPath != "" {
+		what = callee.PkgPath + "." + what
+	}
+	w.reportIfHeld(call.Pos(), what)
+}
+
+func (w *walker) reportIfHeld(pos token.Pos, what string) {
+	// One report per site; with several locks held, name the
+	// lexicographically first so output is deterministic.
+	first := ""
+	for recv := range w.held {
+		if first == "" || recv < first {
+			first = recv
+		}
+	}
+	if first == "" {
+		return
+	}
+	w.pass.Reportf(pos,
+		"blocking %s while %s is held: shard critical sections must not wait on the network or other goroutines; release the lock first",
+		what, first)
+}
+
+// --- mutex-by-value beyond vet ----------------------------------------------
+
+// checkElemTypes flags map and channel types whose element holds a
+// lock by value. vet's copylocks sees copies at assignments and
+// calls, but not the type declarations that make every future access
+// a copy: map elements are unaddressable (the mutex can never be
+// locked in place) and channel sends copy the element.
+func checkElemTypes(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.MapType:
+				if t := pass.TypesInfo.TypeOf(n.Value); t != nil && lintutil.ContainsLock(t) {
+					pass.Reportf(n.Pos(),
+						"map element type %s holds a lock by value: map elements are unaddressable, so the lock is copied on every read; store a pointer",
+						t.String())
+				}
+			case *ast.ChanType:
+				if t := pass.TypesInfo.TypeOf(n.Value); t != nil && lintutil.ContainsLock(t) {
+					pass.Reportf(n.Pos(),
+						"channel element type %s holds a lock by value: every send/receive copies the lock; send a pointer",
+						t.String())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkSendCopiesLock flags sending a lock-bearing value over a
+// channel even when the channel's declared element is an interface
+// (the copy happens at the send).
+func (w *walker) checkSendCopiesLock(s *ast.SendStmt) {
+	t := w.pass.TypesInfo.TypeOf(s.Value)
+	if t != nil && lintutil.ContainsLock(t) {
+		w.pass.Reportf(s.Pos(),
+			"channel send copies %s, which holds a lock by value; send a pointer", t.String())
+	}
+}

@@ -1,0 +1,14 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"piersearch/internal/lint/linttest"
+	"piersearch/internal/lint/locksafe"
+)
+
+// TestLocksafe runs the multi-file shard fixture: shard.go covers
+// blocking-while-held, copies.go covers the by-value hazards.
+func TestLocksafe(t *testing.T) {
+	linttest.Run(t, "testdata/src", locksafe.Analyzer, "p/internal/shard")
+}

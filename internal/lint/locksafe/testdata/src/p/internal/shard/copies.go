@@ -1,0 +1,27 @@
+package shard
+
+import "sync"
+
+type lockedEntry struct {
+	mu  sync.Mutex
+	val []byte
+}
+
+// Map and channel element types holding locks by value: flagged
+// (vet's copylocks never sees type declarations).
+type badTable struct {
+	entries map[string]lockedEntry // want `map element type .*lockedEntry holds a lock by value`
+	updates chan lockedEntry       // want `channel element type .*lockedEntry holds a lock by value`
+}
+
+// Pointers are fine.
+type goodTable struct {
+	entries map[string]*lockedEntry
+	updates chan *lockedEntry
+}
+
+// SendCopy sends a lock-bearing value over an any-typed channel; the
+// element type doesn't give it away, the send does.
+func SendCopy(ch chan any, e lockedEntry) {
+	ch <- e // want `channel send copies .*lockedEntry, which holds a lock by value`
+}

@@ -1,0 +1,126 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+type Transport interface {
+	Call(addr string, req []byte) ([]byte, error)
+}
+
+type Bucket struct {
+	mu   sync.Mutex
+	vals map[string][]byte
+}
+
+type Store struct {
+	mu      sync.RWMutex
+	buckets []*Bucket
+	tr      Transport
+	wg      sync.WaitGroup
+	ch      chan []byte
+}
+
+// GetLocal is a healthy critical section: lock, touch memory, unlock.
+func (s *Store) GetLocal(b *Bucket, k string) []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.vals[k]
+}
+
+// RPCUnderLock holds the bucket lock across a network call: flagged.
+func (s *Store) RPCUnderLock(b *Bucket, k string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return s.tr.Call("peer", []byte(k)) // want `blocking Transport.Call while b.mu is held`
+}
+
+// RPCOutsideLock copies what it needs, releases, then calls: fine.
+func (s *Store) RPCOutsideLock(b *Bucket, k string) ([]byte, error) {
+	b.mu.Lock()
+	req := append([]byte(nil), b.vals[k]...)
+	b.mu.Unlock()
+	return s.tr.Call("peer", req)
+}
+
+// RecvUnderLock blocks on a channel receive inside the section: flagged.
+func (s *Store) RecvUnderLock() []byte {
+	s.mu.Lock()
+	v := <-s.ch // want `blocking channel receive while s.mu is held`
+	s.mu.Unlock()
+	return v
+}
+
+// SendUnderLock blocks on a channel send inside the section: flagged.
+func (s *Store) SendUnderLock(v []byte) {
+	s.mu.Lock()
+	s.ch <- v // want `blocking channel send while s.mu is held`
+	s.mu.Unlock()
+}
+
+// WaitUnderLock joins a WaitGroup while holding the lock: flagged.
+func (s *Store) WaitUnderLock() {
+	s.mu.Lock()
+	s.wg.Wait() // want `blocking WaitGroup.Wait while s.mu is held`
+	s.mu.Unlock()
+}
+
+// SleepUnderLock: flagged.
+func (s *Store) SleepUnderLock() {
+	s.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking time.Sleep while s.mu is held`
+	s.mu.Unlock()
+}
+
+// CondWait is the one legal blocking call under a lock.
+func CondWait(c *sync.Cond, ready *bool) {
+	c.L.Lock()
+	for !*ready {
+		c.Wait()
+	}
+	c.L.Unlock()
+}
+
+// SpawnUnderLock starts a goroutine while holding the lock; the
+// literal's body is its own unit and does not inherit "held".
+func (s *Store) SpawnUnderLock() {
+	s.mu.Lock()
+	go func() {
+		s.wg.Wait()
+		v := <-s.ch
+		_ = v
+	}()
+	s.mu.Unlock()
+}
+
+// BranchRelease unlocks in one branch; the sibling branch must not be
+// poisoned by it.
+func (s *Store) BranchRelease(fast bool) []byte {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		return <-s.ch
+	}
+	s.mu.Unlock()
+	return <-s.ch
+}
+
+// AllowedSend documents a never-blocking buffered handoff.
+func (s *Store) AllowedSend(v []byte) {
+	s.mu.Lock()
+	s.ch <- v //lint:allow locksafe buffered free-list sized to shard count, never blocks
+	s.mu.Unlock()
+}
+
+// EmbeddedLock locks via a promoted method from an embedded mutex.
+type EmbeddedLock struct {
+	sync.Mutex
+	tr Transport
+}
+
+func (e *EmbeddedLock) CallUnder() {
+	e.Lock()
+	e.tr.Call("peer", nil) // want `blocking Transport.Call while e is held`
+	e.Unlock()
+}

@@ -1,0 +1,28 @@
+// Package metricnames checks the bounded-registry invariant.
+//
+// # Invariant
+//
+// PR 9's telemetry.Registry interns metrics by name in a lock-cheap
+// map that lives for the process: every distinct name is a permanent
+// allocation, a /metrics line, and a lookup key. A name assembled at
+// call time — fmt.Sprintf("queries.%s", peerAddr) — turns an
+// attacker-controlled or unbounded value into unbounded registry
+// growth (a cardinality bomb) and makes the hot-path lookup miss its
+// interned fast path.
+//
+// # What it reports
+//
+// Calls to Registry.Counter, Registry.Gauge, or Registry.Histogram
+// whose name argument is not a compile-time constant. Constant
+// folding is the compiler's: string literals, named consts, and
+// concatenations of consts all pass; anything whose value exists only
+// at run time is flagged.
+//
+// A closed enum keyed by code (service error counters, RPC kinds) is
+// still bounded: pre-register one metric per enum value at
+// construction, or annotate the single registration point.
+//
+// # Suppressing
+//
+//	reg.Counter("service.errors." + c.String()) //lint:allow metricnames bounded by the ErrorCode enum, registered once per code
+package metricnames

@@ -1,0 +1,46 @@
+package metricnames
+
+import (
+	"go/ast"
+
+	"piersearch/internal/lint/analysis"
+	"piersearch/internal/lint/lintutil"
+)
+
+// Analyzer requires registry metric names to be compile-time
+// constants.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricnames",
+	Doc:  "telemetry.Registry metric names (Counter/Gauge/Histogram) must be compile-time constants — a name built at call time mints unbounded registry entries (a cardinality bomb) and defeats the lock-cheap fast path",
+	Run:  run,
+}
+
+// registryMethods are the name-keyed constructors on
+// telemetry.Registry; the first argument is the metric name.
+var registryMethods = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+func run(pass *analysis.Pass) error {
+	pathOK := func(p string) bool { return lintutil.PkgPathHasSuffix(p, "internal/telemetry") }
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			callee, ok := lintutil.CalleeOf(pass.TypesInfo, call)
+			if !ok || callee.RecvType != "Registry" || !pathOK(callee.PkgPath) || !registryMethods[callee.Name] {
+				return true
+			}
+			name := call.Args[0]
+			tv, ok := pass.TypesInfo.Types[name]
+			if ok && tv.Value != nil {
+				return true // constant-folded: literal, const, or concat of consts
+			}
+			pass.Reportf(name.Pos(),
+				"metric name for Registry.%s is built at call time (%s): dynamic names mint unbounded registry entries; use a compile-time constant (pre-register one metric per enum value if the set is closed)",
+				callee.Name, lintutil.ExprString(name))
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package metricnames_test
+
+import (
+	"testing"
+
+	"piersearch/internal/lint/linttest"
+	"piersearch/internal/lint/metricnames"
+)
+
+func TestMetricnames(t *testing.T) {
+	linttest.Run(t, "testdata/src", metricnames.Analyzer, "p/internal/svc")
+}

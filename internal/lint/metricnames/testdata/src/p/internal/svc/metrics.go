@@ -1,0 +1,30 @@
+package svc
+
+import (
+	"fmt"
+
+	"piersearch/internal/telemetry"
+)
+
+const prefix = "svc."
+
+type code int
+
+func (c code) String() string { return "x" }
+
+func register(reg *telemetry.Registry, peer string, c code) {
+	// Literals and constant expressions pass.
+	reg.Counter("svc.queries")
+	reg.Counter(prefix + "publishes")
+	reg.Histogram(prefix + "ttfr_ns")
+	reg.Gauge("svc.active", func() int64 { return 0 })
+
+	// Run-time names are cardinality bombs: flagged.
+	reg.Counter(fmt.Sprintf("svc.peer.%s", peer))     // want `metric name for Registry\.Counter is built at call time`
+	reg.Counter(prefix + peer)                        // want `metric name for Registry\.Counter is built at call time`
+	reg.Histogram(peer)                               // want `metric name for Registry\.Histogram is built at call time`
+	reg.Gauge("svc."+peer, func() int64 { return 0 }) // want `metric name for Registry\.Gauge is built at call time`
+
+	// A closed enum, documented at its single registration point.
+	reg.Counter("svc.errors." + c.String()) //lint:allow metricnames bounded by the code enum, one registration per value
+}

@@ -1,0 +1,12 @@
+// Package telemetry is a fixture stub of the registry surface of
+// piersearch/internal/telemetry.
+package telemetry
+
+type Counter struct{}
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter       { return nil }
+func (r *Registry) Gauge(name string, fn func() int64) {}
+func (r *Registry) Histogram(name string) *Histogram   { return nil }

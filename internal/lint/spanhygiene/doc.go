@@ -1,0 +1,39 @@
+// Package spanhygiene checks the span-lifecycle invariant.
+//
+// # Invariant
+//
+// PR 9's tracing records a span only when Finish (or FinishErr) runs:
+// an abandoned ActiveSpan writes nothing to the ring, so its whole
+// subtree silently vanishes from the assembled trace — the
+// observability plane lies precisely on the failure paths it exists
+// to explain. Every start must therefore reach a finish on every
+// return path, including error returns.
+//
+// # What it reports
+//
+// For each assignment from telemetry.StartSpan, Tracer.StartRoot,
+// Tracer.StartRemote, or Tracer.StartHandler, the span must be one
+// of:
+//
+//   - deferred: `defer sp.Finish()` (or a deferred closure using sp);
+//   - handed off: returned, stored into a field/map/slice, passed to
+//     another function, or captured by a function literal — custody
+//     moved, the receiver finishes it;
+//   - finished on every path: each return lexically after the start
+//     must be dominated by sp.Finish()/sp.FinishErr(...), where a
+//     nil-guard wrapper (`if sp != nil { sp.Finish() }`) is
+//     transparent and a return under `if sp == nil` is exempt (no
+//     span exists on that path).
+//
+// Discarding the span at the start site (`ctx, _ := StartSpan(...)`)
+// is reported outright.
+//
+// The domination check is lexical (ancestor-block position), not a
+// full CFG: a finish nested in one branch does not cover the sibling
+// branch's return, which is exactly the leak-on-error shape PR 9
+// review kept catching by hand.
+//
+// # Suppressing
+//
+//	ctx, sp := telemetry.StartSpan(ctx, "op") //lint:allow spanhygiene finished by the batch flusher two frames up
+package spanhygiene

@@ -1,0 +1,408 @@
+package spanhygiene
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"piersearch/internal/lint/analysis"
+	"piersearch/internal/lint/lintutil"
+)
+
+// Analyzer checks that every started telemetry span reaches Finish
+// (or FinishErr) on every return path of the function that started
+// it, unless the span is deferred, handed off, or stored.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanhygiene",
+	Doc:  "every telemetry span start (StartSpan/StartRoot/StartRemote/StartHandler) must reach Finish on all return paths, including error returns — an unfinished span never records and silently truncates the trace tree",
+	Run:  run,
+}
+
+// startFuncs maps telemetry start functions to the index of the span
+// in their result list.
+var startFuncs = map[string]int{
+	"StartSpan":    1, // (ctx, span)
+	"StartRoot":    1,
+	"StartRemote":  1,
+	"StartHandler": 0, // span only
+}
+
+var finishNames = map[string]bool{"Finish": true, "FinishErr": true}
+
+func run(pass *analysis.Pass) error {
+	lintutil.FuncBodies(pass.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		checkUnit(pass, body)
+	})
+	return nil
+}
+
+// checkUnit analyzes one function body (FuncLit bodies are their own
+// units: a span started inside a closure must finish inside it).
+func checkUnit(pass *analysis.Pass, body *ast.BlockStmt) {
+	lintutil.WalkShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee, ok := lintutil.CalleeOf(pass.TypesInfo, call)
+		if !ok || !lintutil.PkgPathHasSuffix(callee.PkgPath, "internal/telemetry") {
+			return true
+		}
+		idx, ok := startFuncs[callee.Name]
+		if !ok || idx >= len(as.Lhs) {
+			return true
+		}
+		spanExpr := ast.Unparen(as.Lhs[idx])
+		id, isIdent := spanExpr.(*ast.Ident)
+		if !isIdent {
+			// Span stored straight into a field or slot: handed off.
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(as.Pos(),
+				"span from %s discarded: a started span that never reaches Finish records nothing and truncates the trace tree",
+				callee.Name)
+			return true
+		}
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			obj = pass.TypesInfo.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		checkSpan(pass, body, obj, id.Name, as, callee.Name)
+		return true
+	})
+}
+
+// checkSpan verifies one started span reaches Finish on all paths.
+func checkSpan(pass *analysis.Pass, body *ast.BlockStmt, sp types.Object, name string, start *ast.AssignStmt, startFunc string) {
+	if deferredOrEscapes(pass, body, sp, start) {
+		return
+	}
+	// Path check: every return lexically after the start must be
+	// dominated by a finishing statement.
+	paths := returnPaths(body, start.End())
+	for _, p := range paths {
+		if p.exemptNilGuard(pass, sp) {
+			continue
+		}
+		if !p.dominatedByFinish(pass, sp) {
+			pos := p.pos
+			what := "the return"
+			if p.isEnd {
+				what = "the fall-off end of the function"
+			}
+			pass.Reportf(start.Pos(),
+				"span %s (from %s) may not reach Finish on %s at line %d: finish it on every path, defer it, or hand it off",
+				name, startFunc, what, pass.Fset.Position(pos).Line)
+		}
+	}
+}
+
+// deferredOrEscapes reports whether the span is deferred-finished or
+// leaves the function's custody: returned, stored into a field/slice/
+// map, passed to another call, or captured by a function literal.
+func deferredOrEscapes(pass *analysis.Pass, body *ast.BlockStmt, sp types.Object, start *ast.AssignStmt) bool {
+	escaped := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if isFinishOn(pass, n.Call, sp) {
+				escaped = true
+				return false
+			}
+		case *ast.FuncLit:
+			// Any use of the span inside a literal (deferred
+			// finisher, goroutine finisher) counts as a handoff.
+			if usesObj(pass, n.Body, sp) {
+				escaped = true
+			}
+			return false
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if exprMentions(pass, r, sp) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			if n == start {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+					continue
+				}
+				_ = i
+				// Storing into a selector/index: if any RHS mentions
+				// the span, it is handed off.
+				for _, rhs := range n.Rhs {
+					if exprMentions(pass, rhs, sp) {
+						escaped = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// The span as an argument (not as the receiver of its own
+			// methods) hands responsibility to the callee.
+			for _, arg := range n.Args {
+				if exprMentions(pass, arg, sp) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if exprMentions(pass, el, sp) {
+					escaped = true
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// --- return-path enumeration -------------------------------------------------
+
+// A path is one way control leaves the function: an explicit return,
+// or falling off the end. ancestors holds (statement list, index of
+// the child on the path) pairs from the function body inward.
+type path struct {
+	pos       token.Pos
+	isEnd     bool
+	ancestors []level
+	// guards holds the if-statements enclosing the return.
+	guards []*ast.IfStmt
+}
+
+type level struct {
+	list []ast.Stmt
+	idx  int
+}
+
+func returnPaths(body *ast.BlockStmt, after token.Pos) []path {
+	var out []path
+	var walk func(list []ast.Stmt, anc []level, guards []*ast.IfStmt)
+	walk = func(list []ast.Stmt, anc []level, guards []*ast.IfStmt) {
+		for i, s := range list {
+			here := append(append([]level{}, anc...), level{list, i})
+			switch s := s.(type) {
+			case *ast.ReturnStmt:
+				if s.Pos() > after {
+					out = append(out, path{pos: s.Pos(), ancestors: here, guards: append([]*ast.IfStmt{}, guards...)})
+				}
+			case *ast.IfStmt:
+				walk(s.Body.List, here, append(guards, s))
+				if s.Else != nil {
+					if eb, ok := s.Else.(*ast.BlockStmt); ok {
+						walk(eb.List, here, append(guards, s))
+					} else {
+						walk([]ast.Stmt{s.Else}, here, append(guards, s))
+					}
+				}
+			case *ast.BlockStmt:
+				walk(s.List, here, guards)
+			case *ast.ForStmt:
+				walk(s.Body.List, here, guards)
+			case *ast.RangeStmt:
+				walk(s.Body.List, here, guards)
+			case *ast.SwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body, here, guards)
+					}
+				}
+			case *ast.TypeSwitchStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CaseClause); ok {
+						walk(cc.Body, here, guards)
+					}
+				}
+			case *ast.SelectStmt:
+				for _, c := range s.Body.List {
+					if cc, ok := c.(*ast.CommClause); ok {
+						walk(cc.Body, here, guards)
+					}
+				}
+			case *ast.LabeledStmt:
+				walk([]ast.Stmt{s.Stmt}, here, guards)
+			}
+		}
+	}
+	walk(body.List, nil, nil)
+	// Fall-off end: if the last statement of the body is not a
+	// return, control can leave through the closing brace.
+	if n := len(body.List); n == 0 || !terminal(body.List[n-1]) {
+		out = append(out, path{
+			pos:       body.Rbrace,
+			isEnd:     true,
+			ancestors: []level{{body.List, len(body.List)}},
+		})
+	}
+	return out
+}
+
+// terminal reports whether s definitely does not fall through.
+func terminal(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.ForStmt:
+		// for {} with no break is an event loop; treat as terminal.
+		return s.Cond == nil
+	}
+	return false
+}
+
+// exemptNilGuard reports whether the path is enclosed by
+// `if sp == nil { ... }` — on that path the span never existed.
+func (p path) exemptNilGuard(pass *analysis.Pass, sp types.Object) bool {
+	for _, g := range p.guards {
+		if cond, ok := g.Cond.(*ast.BinaryExpr); ok && cond.Op == token.EQL {
+			if mentionsNilCompare(pass, cond, sp) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dominatedByFinish reports whether a finishing statement precedes
+// the path's exit at some ancestor level.
+func (p path) dominatedByFinish(pass *analysis.Pass, sp types.Object) bool {
+	for _, lv := range p.ancestors {
+		for i := 0; i < lv.idx; i++ {
+			if finishingStmt(pass, lv.list[i], sp) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// finishingStmt reports whether s guarantees the span is finished
+// once it completes: a direct Finish/FinishErr call, a nil-guard if
+// wrapping one (`if sp != nil { sp.Finish() }` — nil spans need no
+// finishing), or an if/else where both branches finish.
+func finishingStmt(pass *analysis.Pass, s ast.Stmt, sp types.Object) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			return isFinishOn(pass, call, sp)
+		}
+	case *ast.IfStmt:
+		if cond, ok := s.Cond.(*ast.BinaryExpr); ok && cond.Op == token.NEQ && mentionsNilCompare(pass, cond, sp) {
+			for _, bs := range s.Body.List {
+				if finishingStmt(pass, bs, sp) {
+					return true
+				}
+			}
+			return false
+		}
+		// Both branches finishing also guarantees it.
+		if s.Else == nil {
+			return false
+		}
+		bodyOK := false
+		for _, bs := range s.Body.List {
+			if finishingStmt(pass, bs, sp) {
+				bodyOK = true
+			}
+		}
+		if !bodyOK {
+			return false
+		}
+		if eb, ok := s.Else.(*ast.BlockStmt); ok {
+			for _, es := range eb.List {
+				if finishingStmt(pass, es, sp) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// --- small predicates --------------------------------------------------------
+
+func isFinishOn(pass *analysis.Pass, call *ast.CallExpr, sp types.Object) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !finishNames[sel.Sel.Name] {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.TypesInfo.Uses[id] == sp
+}
+
+func mentionsNilCompare(pass *analysis.Pass, cond *ast.BinaryExpr, sp types.Object) bool {
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	isSp := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == sp
+	}
+	return (isSp(cond.X) && isNil(cond.Y)) || (isNil(cond.X) && isSp(cond.Y))
+}
+
+func usesObj(pass *analysis.Pass, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// exprMentions reports whether e mentions the span object anywhere
+// EXCEPT as the receiver of the span's own method calls
+// (sp.SetAttr(...), sp.Finish() keep custody; record(sp) gives it
+// away).
+func exprMentions(pass *analysis.Pass, e ast.Expr, sp types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		// Skip receiver positions: the X of a selector whose Sel is a
+		// method of the span is not a handoff.
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == sp {
+					// Recurse only into the arguments.
+					for _, arg := range call.Args {
+						if exprMentions(pass, arg, sp) {
+							found = true
+						}
+					}
+					return false
+				}
+			}
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == sp {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

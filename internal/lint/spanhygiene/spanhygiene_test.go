@@ -1,0 +1,14 @@
+package spanhygiene_test
+
+import (
+	"testing"
+
+	"piersearch/internal/lint/linttest"
+	"piersearch/internal/lint/spanhygiene"
+)
+
+// TestSpanhygiene exercises the multi-package fixture: p/internal/svc
+// imports the piersearch/internal/telemetry stub through the overlay.
+func TestSpanhygiene(t *testing.T) {
+	linttest.Run(t, "testdata/src", spanhygiene.Analyzer, "p/internal/svc")
+}

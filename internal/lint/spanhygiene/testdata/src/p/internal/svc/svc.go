@@ -1,0 +1,120 @@
+package svc
+
+import (
+	"context"
+	"errors"
+
+	"piersearch/internal/telemetry"
+)
+
+var errBoom = errors.New("boom")
+
+func work(ctx context.Context) error { return nil }
+
+// DeferFinish is the canonical healthy shape.
+func DeferFinish(ctx context.Context) error {
+	ctx, sp := telemetry.StartSpan(ctx, "op")
+	defer sp.Finish()
+	return work(ctx)
+}
+
+// LeakOnError finishes on success but not on the error return: the
+// span-leak-on-error-return case from the issue.
+func LeakOnError(ctx context.Context) error {
+	ctx, sp := telemetry.StartSpan(ctx, "op") // want `span sp \(from StartSpan\) may not reach Finish on the return at line`
+	if err := work(ctx); err != nil {
+		return err
+	}
+	sp.Finish()
+	return nil
+}
+
+// FinishAllPaths finishes on both the error and success paths.
+func FinishAllPaths(ctx context.Context) error {
+	ctx, sp := telemetry.StartSpan(ctx, "op")
+	if err := work(ctx); err != nil {
+		sp.FinishErr(err)
+		return err
+	}
+	sp.Finish()
+	return nil
+}
+
+// EarlyFinishDoesNotCover: a Finish inside one branch does not cover
+// the other return.
+func EarlyFinishDoesNotCover(ctx context.Context, fast bool) error {
+	_, sp := telemetry.StartSpan(ctx, "op") // want `span sp \(from StartSpan\) may not reach Finish on the return at line`
+	if fast {
+		sp.Finish()
+		return nil
+	}
+	return errBoom
+}
+
+// NilGuardFinish: the nil-guard wrapper is transparent — this is how
+// the daemon's query handler finishes its stream span.
+func NilGuardFinish(ctx context.Context) error {
+	ctx, sp := telemetry.StartSpan(ctx, "op")
+	err := work(ctx)
+	if sp != nil {
+		sp.Finish()
+	}
+	return err
+}
+
+// NilCheckReturn: returning inside `if sp == nil` needs no finish —
+// the span never existed on that path.
+func NilCheckReturn(ctx context.Context) error {
+	ctx, sp := telemetry.StartSpan(ctx, "op")
+	if sp == nil {
+		return work(ctx)
+	}
+	err := work(ctx)
+	sp.FinishErr(err)
+	return err
+}
+
+// Discarded throws the span away at the start site: flagged.
+func Discarded(ctx context.Context) {
+	_, _ = telemetry.StartSpan(ctx, "op") // want `span from StartSpan discarded`
+}
+
+// HandedOff stores the span in a struct; custody leaves the function.
+type stream struct{ span *telemetry.ActiveSpan }
+
+func (st *stream) Open(ctx context.Context) {
+	_, sp := telemetry.StartSpan(ctx, "stream")
+	st.span = sp
+}
+
+// Returned hands the span to the caller.
+func Returned(ctx context.Context, tr *telemetry.Tracer) *telemetry.ActiveSpan {
+	_, sp := tr.StartRoot(ctx, "root")
+	return sp
+}
+
+// ClosureFinish hands the span to a deferred closure.
+func ClosureFinish(ctx context.Context) error {
+	ctx, sp := telemetry.StartSpan(ctx, "op")
+	defer func() { sp.Finish() }()
+	return work(ctx)
+}
+
+// HandlerLeak: StartHandler's single result leaks past the error
+// return.
+func HandlerLeak(tr *telemetry.Tracer, fail bool) error {
+	sp := tr.StartHandler(1, 2, "serve") // want `span sp \(from StartHandler\) may not reach Finish on the return at line`
+	if fail {
+		return errBoom
+	}
+	sp.Finish()
+	return nil
+}
+
+// AllowedLeak documents a span intentionally left to the ring
+// janitor.
+func AllowedLeak(ctx context.Context) error {
+	ctx, sp := telemetry.StartSpan(ctx, "op") //lint:allow spanhygiene ring janitor reclaims unfinished spans in tests
+	_ = sp
+	return work(ctx)
+}

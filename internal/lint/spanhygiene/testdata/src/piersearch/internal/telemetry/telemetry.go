@@ -1,0 +1,33 @@
+// Package telemetry is a fixture stub of piersearch/internal/telemetry:
+// the span-start surface and ActiveSpan, enough to type-check the
+// hygiene fixtures.
+package telemetry
+
+import "context"
+
+type TraceID uint64
+type SpanID uint64
+
+type ActiveSpan struct{}
+
+func (s *ActiveSpan) Finish()                 {}
+func (s *ActiveSpan) FinishErr(err error)     {}
+func (s *ActiveSpan) SetAttr(key, val string) {}
+
+type Tracer struct{}
+
+func StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	return ctx, nil
+}
+
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	return ctx, nil
+}
+
+func (t *Tracer) StartRemote(ctx context.Context, trace TraceID, parent SpanID, name string) (context.Context, *ActiveSpan) {
+	return ctx, nil
+}
+
+func (t *Tracer) StartHandler(trace TraceID, parent SpanID, name string) *ActiveSpan {
+	return nil
+}

@@ -547,7 +547,10 @@ func (e *Engine) runChainStep(msg chainMsg) {
 	next.Shipped += len(survivors)
 	next.Hops++
 	buf := encodeChainMsg(codec.GetBuf(), &next)
-	_, err = e.sendRead(context.Background(), keyID(msg.Table, msg.Keys[next.Step]), appChain, buf, nil)
+	// A chain step runs on the serving node, forwarding a message that
+	// arrived off the wire: there is no originating context here, and
+	// origin death ends the query through its own timeout.
+	_, err = e.sendRead(context.Background(), keyID(msg.Table, msg.Keys[next.Step]), appChain, buf, nil) //lint:allow ctxflow remote chain step has no originating ctx; origin timeout bounds the query
 	codec.PutBuf(buf)
 	if err != nil {
 		fail(fmt.Errorf("forward to step %d: %w", next.Step, err))

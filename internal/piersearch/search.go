@@ -105,7 +105,7 @@ func (s *Search) effectiveWorkers() int {
 // stream results incrementally or to cancel a wide-area query in flight.
 func (s *Search) Query(query string, strategy Strategy, limit int) ([]Result, SearchStats, error) {
 	start := time.Now()
-	rs, err := s.QueryContext(context.Background(), Query{Text: query, Strategy: strategy, Limit: limit})
+	rs, err := s.QueryContext(context.Background(), Query{Text: query, Strategy: strategy, Limit: limit}) //lint:allow ctxflow Query is the documented blocking wrapper; cancelable callers use QueryContext
 	if err != nil {
 		return nil, SearchStats{Strategy: strategy, Wall: time.Since(start)}, err
 	}

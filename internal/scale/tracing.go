@@ -39,7 +39,7 @@ func attachTracers(cl *Cluster, stableCore int, clock *Clock) []*telemetry.Trace
 // spans (root, plan operators, lookup probes, RPCs) plus everything the
 // serving nodes piggybacked back on their responses.
 func tracedQuery(tr *telemetry.Tracer, s *piersearch.Search, text string, strat piersearch.Strategy, limit int) ([]piersearch.Result, piersearch.SearchStats, []telemetry.Span, error) {
-	ctx, root := tr.StartRoot(context.Background(), "scale.query")
+	ctx, root := tr.StartRoot(context.Background(), "scale.query") //lint:allow ctxflow each sampled query starts its own trace root by design
 	root.SetAttr("q", text)
 	rs, err := s.QueryContext(ctx, piersearch.Query{Text: text, Strategy: strat, Limit: limit})
 	if err != nil {

@@ -72,7 +72,10 @@ func (c *Client) session(ctx context.Context) (*wire.Mux, error) {
 		}
 	}
 	d := net.Dialer{Timeout: c.DialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	// Redial is deliberately serialized under c.mu: concurrent callers
+	// need the one session being built, so racing dials would only shed
+	// connections. DialTimeout (and the caller's ctx) bound the hold.
+	conn, err := d.DialContext(ctx, "tcp", c.addr) //lint:allow locksafe redial is serialized by design; DialTimeout bounds the hold
 	if err != nil {
 		return nil, fmt.Errorf("service: dial %s: %w", c.addr, err)
 	}
@@ -126,6 +129,7 @@ func (c *Client) Query(ctx context.Context, q piersearch.Query) (*piersearch.Res
 	// A canceled caller context tells the daemon to stop: Cancel for an
 	// orderly end, then reset so even a daemon stuck producing observes it.
 	src.stopCancel = context.AfterFunc(ctx, func() {
+		//lint:allow ctxflow runs after the caller ctx is already canceled; Background is the only live parent for the farewell Cancel
 		st.Send(context.Background(), EncodeCancel()) //nolint:errcheck // reset follows either way
 		st.Reset("query canceled")
 	})

@@ -172,15 +172,19 @@ type serverMetrics struct {
 	shedClient *telemetry.Counter
 	publishes  *telemetry.Counter
 	ttfr       *telemetry.Histogram // ns from admission to first result flushed
+	// errs is indexed by Code, pre-registered at construction so the
+	// error path never mints a metric name at call time; slot 0 absorbs
+	// any code outside the known enum.
+	errs [CodeInternal + 1]*telemetry.Counter
 }
 
 // errCode resolves the per-code error counter; label-shaped variation
 // lives in the metric name ("service.errors.overloaded").
 func (m *serverMetrics) errCode(c Code) *telemetry.Counter {
-	if m.reg == nil {
-		return nil
+	if c < 0 || int(c) >= len(m.errs) {
+		c = 0
 	}
-	return m.reg.Counter("service.errors." + c.String())
+	return m.errs[c]
 }
 
 // NewServer builds a daemon serving search (required) and pub (optional:
@@ -205,6 +209,10 @@ func NewServer(ln net.Listener, search *piersearch.Search, pub *piersearch.Publi
 			publishes:  reg.Counter("service.publishes"),
 			ttfr:       reg.Histogram("service.ttfr_ns"),
 		}
+		for c := CodeBadRequest; c <= CodeInternal; c++ {
+			s.met.errs[c] = reg.Counter("service.errors." + c.String()) //lint:allow metricnames bounded by the Code enum, one registration per value at construction
+		}
+		s.met.errs[0] = reg.Counter("service.errors.unknown")
 		reg.Gauge("service.active_queries", func() int64 { return int64(len(s.sem)) })
 		s.muxMet = wire.RegisterMuxMetrics(reg)
 	}
@@ -291,7 +299,9 @@ func (s *Server) Close() {
 // a vanished peer must not pin the handler on a starved Send.
 func (s *Server) sendError(st *wire.Stream, e *Error) {
 	s.met.errCode(e.Code).Inc()
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// The request's own ctx may already be dead (that can be why we're
+	// erroring); the farewell gets a detached, bounded window instead.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second) //lint:allow ctxflow farewell send outlives the request ctx; the timeout bounds it
 	defer cancel()
 	st.Send(ctx, EncodeError(e)) //nolint:errcheck // peer may be gone
 	st.CloseSend()               //nolint:errcheck // peer may be gone
@@ -386,7 +396,7 @@ func (s *Server) handleQuery(st *wire.Stream, m *OpenQuery) {
 
 	// The query context ends when the client cancels (MsgCancel or stream
 	// reset), the connection dies, or this handler returns.
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(context.Background()) //lint:allow ctxflow handler root: the stream is the parent, and Close resets every stream
 	defer cancel()
 
 	// Traced query: the daemon's stream span parents under the client's
@@ -510,7 +520,7 @@ func (s *Server) handleExplain(st *wire.Stream, m *ExplainQuery) {
 		s.sendError(st, &Error{Code: CodeBadRequest, Msg: err.Error()})
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second) //lint:allow ctxflow one-shot reply on a request with no ctx of its own; the timeout bounds it
 	defer cancel()
 	if st.Send(ctx, EncodeExplainResult(text)) != nil {
 		return
@@ -535,7 +545,7 @@ func (s *Server) handlePublish(st *wire.Stream, m *PublishReq) {
 		s.sendError(st, &Error{Code: CodeBadRequest, Msg: err.Error()})
 		return
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second) //lint:allow ctxflow one-shot reply on a request with no ctx of its own; the timeout bounds it
 	defer cancel()
 	if st.Send(ctx, EncodePublishDone(PublishDone{Stats: stats})) != nil {
 		return

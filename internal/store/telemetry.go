@@ -50,6 +50,6 @@ func (d *Disk) startSpan(name string) *telemetry.ActiveSpan {
 	if tr == nil {
 		return nil
 	}
-	_, sp := tr.StartRoot(context.Background(), name)
+	_, sp := tr.StartRoot(context.Background(), name) //lint:allow ctxflow store background work has no query ctx; each operation is its own trace root
 	return sp
 }

@@ -100,7 +100,7 @@ func (t *TCPTransport) dialContext() context.Context {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.dialCtx == nil {
-		t.dialCtx, t.dialCancel = context.WithCancel(context.Background())
+		t.dialCtx, t.dialCancel = context.WithCancel(context.Background()) //lint:allow ctxflow this IS the transport's cancellation root; Close cancels it
 		if t.closed {
 			t.dialCancel()
 		}
